@@ -1,0 +1,59 @@
+// Command afs-compress measures Syndrome Compression (paper §VI): the
+// compression ratio of each scheme and of the hybrid selector over
+// Monte-Carlo syndrome traffic, and the resulting qubit-to-decoder
+// bandwidth requirement.
+//
+// Examples:
+//
+//	afs-compress -d 11 -p 0.001
+//	afs-compress -d 25 -p 0.0001 -l 1000 -window 400
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"afs"
+)
+
+func main() {
+	var (
+		d      = flag.Int("d", 11, "code distance")
+		p      = flag.Float64("p", 1e-3, "physical error rate")
+		trials = flag.Int("trials", 5000, "logical cycles to sample")
+		l      = flag.Int("l", 1000, "logical qubits for the bandwidth figure")
+		window = flag.Float64("window", 400, "transmission window (ns)")
+		dzcW   = flag.Int("dzc-width", 0, "DZC block width in bits (0 = default 8)")
+		tile   = flag.Int("geo-tile", 0, "geo tile side in grid units (0 = default 4)")
+		seed   = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	r, err := afs.MeasureCompression(afs.CompressionConfig{
+		Distance: *d, P: *p, Trials: *trials, Seed: *seed,
+		DZCWidth: *dzcW, GeoTile: *tile,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "afs-compress: %v\n", err)
+		os.Exit(1)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "syndrome traffic (d=%d, p=%g, %d frames of %d bits)\t\n",
+		*d, *p, r.Frames, 2**d*(*d-1))
+	fmt.Fprintf(w, "mean frame weight\t%.2f non-trivial bits\n", r.MeanFrameWeight)
+	fmt.Fprintf(w, "\t\n")
+	fmt.Fprintf(w, "scheme\tmean ratio / frames selected\n")
+	fmt.Fprintf(w, "dynamic zero compression\t%.1fx / %d\n", r.MeanRatioDZC, r.WinsDZC)
+	fmt.Fprintf(w, "sparse representation\t%.1fx / %d\n", r.MeanRatioSparse, r.WinsSparse)
+	fmt.Fprintf(w, "geometry-based\t%.1fx / %d\n", r.MeanRatioGeo, r.WinsGeo)
+	fmt.Fprintf(w, "hybrid (Syndrome Compression)\t%.1fx\n", r.MeanRatio)
+	fmt.Fprintf(w, "aggregate link reduction\t%.1fx\n", r.AggregateRatio)
+	w.Flush()
+
+	raw := afs.RequiredBandwidthGbps(*l, *d, *window)
+	fmt.Printf("\nbandwidth for %d logical qubits at t=%.0f ns: %.0f Gbps raw -> %.1f Gbps compressed\n",
+		*l, *window, raw, raw/r.AggregateRatio)
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"fmt"
+
+	"afs"
+)
+
+// runFig13 regenerates paper Figure 13: the aggregate bandwidth required to
+// transmit syndrome data from the qubits to the decoders for an FTQC with
+// 1000 logical qubits, as a function of code distance and the time window
+// allowed for the transfer.
+func runFig13() {
+	const l = 1000
+	windows := []struct {
+		ns    float64
+		label string
+	}{
+		{100, "t=100 ns"},
+		{400, "t=400 ns"},
+		{1000, "t=1 us"},
+	}
+	w := newTable()
+	fmt.Fprintf(w, "d\tbits/round\t")
+	for _, win := range windows {
+		fmt.Fprintf(w, "%s (Gbps)\t", win.label)
+	}
+	fmt.Fprintf(w, "\n")
+	var csvRows [][]string
+	for _, d := range []int{3, 5, 7, 9, 11, 13, 15, 17, 19, 21, 23, 25} {
+		fmt.Fprintf(w, "%d\t%d\t", d, afs.SyndromeBitsPerRound(l, d))
+		for _, win := range windows {
+			fmt.Fprintf(w, "%.0f\t", afs.RequiredBandwidthGbps(l, d, win.ns))
+			csvRows = append(csvRows, []string{i64(int64(d)), f64(win.ns),
+				f64(afs.RequiredBandwidthGbps(l, d, win.ns))})
+		}
+		fmt.Fprintf(w, "\n")
+	}
+	w.Flush()
+	writeCSV("fig13_bandwidth", []string{"d", "window_ns", "gbps"}, csvRows)
+	fmt.Printf("paper reference: d=11 needs 2200 / 550 / 220 Gbps at 100 ns / 400 ns / 1 us;\n")
+	fmt.Printf("measured:        d=11 needs %.0f / %.0f / %.0f Gbps.\n",
+		afs.RequiredBandwidthGbps(l, 11, 100),
+		afs.RequiredBandwidthGbps(l, 11, 400),
+		afs.RequiredBandwidthGbps(l, 11, 1000))
+}
+
+// runFig15 regenerates paper Figure 15: the compression ratio achieved by
+// Syndrome Compression for different code distances and physical error
+// rates (the paper reports 5x-380x overall and ~30x at the d=11, p=1e-3
+// system point).
+func runFig15() {
+	distances := []int{3, 7, 11, 17, 25}
+	ps := []float64{1e-5, 1e-4, 1e-3}
+	w := newTable()
+	fmt.Fprintf(w, "p \\ d\t")
+	for _, d := range distances {
+		fmt.Fprintf(w, "d=%d\t", d)
+	}
+	fmt.Fprintf(w, "\n")
+	var csvRows [][]string
+	for _, p := range ps {
+		fmt.Fprintf(w, "%.0e\t", p)
+		for _, d := range distances {
+			r, err := afs.MeasureCompression(afs.CompressionConfig{
+				Distance: d, P: p, Trials: trials(3000),
+				Seed: opts.seed + uint64(d), Workers: opts.workers,
+			})
+			if err != nil {
+				fmt.Fprintf(w, "err\t")
+				continue
+			}
+			fmt.Fprintf(w, "%.1fx\t", r.MeanRatio)
+			csvRows = append(csvRows, []string{f64(p), i64(int64(d)),
+				f64(r.MeanRatio), f64(r.AggregateRatio),
+				f64(r.MeanRatioDZC), f64(r.MeanRatioSparse), f64(r.MeanRatioGeo)})
+		}
+		fmt.Fprintf(w, "\n")
+	}
+	w.Flush()
+	writeCSV("fig15_compression",
+		[]string{"p", "d", "hybrid_mean", "aggregate", "dzc", "sparse", "geo"}, csvRows)
+
+	r, err := afs.MeasureCompression(afs.CompressionConfig{
+		Distance: 11, P: 1e-3, Trials: trials(10000),
+		Seed: opts.seed, Workers: opts.workers,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("\nsystem point d=11, p=1e-3 (%d frames):\n", r.Frames)
+	w = newTable()
+	fmt.Fprintf(w, "scheme\tmean ratio\tselected\n")
+	fmt.Fprintf(w, "DZC\t%.1fx\t%d\n", r.MeanRatioDZC, r.WinsDZC)
+	fmt.Fprintf(w, "Sparse\t%.1fx\t%d\n", r.MeanRatioSparse, r.WinsSparse)
+	fmt.Fprintf(w, "Geo-Comp\t%.1fx\t%d\n", r.MeanRatioGeo, r.WinsGeo)
+	fmt.Fprintf(w, "Hybrid\t%.1fx\t(paper: ~30x)\n", r.MeanRatio)
+	w.Flush()
+	fmt.Printf("aggregate link-level reduction: %.1fx; bandwidth %0.f Gbps -> %.0f Gbps at t=400 ns\n",
+		r.AggregateRatio,
+		afs.RequiredBandwidthGbps(1000, 11, 400),
+		afs.CompressedBandwidthGbps(1000, 11, 400, r.AggregateRatio))
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// writeCSV writes one figure's data series under the -csv directory, so
+// the paper's plots can be regenerated with any plotting tool. A missing
+// -csv flag makes this a no-op; write failures are reported but do not
+// abort the experiment run.
+func writeCSV(name string, header []string, rows [][]string) {
+	if opts.csvDir == "" {
+		return
+	}
+	if err := os.MkdirAll(opts.csvDir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+		return
+	}
+	path := filepath.Join(opts.csvDir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+		return
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+		return
+	}
+	if err := w.WriteAll(rows); err != nil {
+		fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+		return
+	}
+	w.Flush()
+	fmt.Printf("[wrote %s]\n", path)
+}
+
+// f64 renders a float for CSV.
+func f64(x float64) string { return fmt.Sprintf("%g", x) }
+
+// i64 renders an int for CSV.
+func i64(x int64) string { return fmt.Sprintf("%d", x) }

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"fmt"
+
+	"afs/internal/backlog"
+	"afs/internal/cda"
+	"afs/internal/core"
+	"afs/internal/hierarchical"
+	"afs/internal/lattice"
+	"afs/internal/microarch"
+	"afs/internal/noise"
+	"afs/internal/stream"
+)
+
+// runExtensions covers the design-space studies that extend the paper's
+// evaluation: the CDA sharing trade-off, the ZDR's value, hierarchical
+// offload economics, streaming-window accuracy, and backlog stability.
+func runExtensions() {
+	cdaSharingSweep()
+	fmt.Println()
+	zdrAblation()
+	fmt.Println()
+	hierarchicalEconomics()
+	fmt.Println()
+	streamingWindows()
+	fmt.Println()
+	backlogStability()
+}
+
+// cdaSharingSweep explores the (alpha, beta) unit-sharing space of §V-A:
+// how much latency and timeout risk each additional level of sharing buys.
+func cdaSharingSweep() {
+	fmt.Println("CDA sharing sweep (d=11, p=1e-3; paper point is N=2, 1 DFS, 1 CORR):")
+	lat := microarch.CollectLatencies(microarch.CollectConfig{
+		Distance: 11, P: 1e-3, Trials: trials(200000),
+		Seed: opts.seed + 60, Workers: opts.workers, KeepBreakdowns: true,
+	})
+	names := []string{
+		"dedicated-equivalent (N=1, 2 DFS, 2 CORR)",
+		"paper point (N=2, 1 DFS, 1 CORR, shared tables)",
+		"N=2, 2 DFS, 2 CORR",
+		"N=2, unshared tables",
+		"N=4, 1 DFS, 1 CORR",
+		"N=4, 2 DFS, 2 CORR",
+	}
+	pts := cda.SweepSharing(cda.PaperDesignSpace(), lat.Breakdowns, trials(200000), opts.seed+61)
+	w := newTable()
+	fmt.Fprintf(w, "configuration\tmean (ns)\tp99.9 (ns)\ttimeout rate\n")
+	for i, p := range pts {
+		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%s\n",
+			names[i], p.Result.Summary.Mean, p.Result.Summary.P999,
+			sci(p.Result.EmpiricalTimeoutRate))
+	}
+	w.Flush()
+	fmt.Println("doubling DFS/CORR per block cuts the timeout rate by an order of magnitude,")
+	fmt.Println("back to the intrinsic latency tail — the knob to turn for Eq. (4) under this model.")
+}
+
+// zdrAblation quantifies the Zero Data Register with the access-count
+// model.
+func zdrAblation() {
+	fmt.Println("Zero Data Register ablation (access-count latency model, d=11, p=1e-3):")
+	g := lattice.New3DWindow(11, 11)
+	with := microarch.NewAccessModel(g)
+	without := microarch.NewAccessModel(g)
+	without.DisableZDR = true
+	dec := core.NewDecoder(g, core.Options{})
+	s := noise.NewSampler(g, 1e-3, opts.seed+62, 1)
+	var trial noise.Trial
+	var sumW, sumWo float64
+	n := trials(100000)
+	for i := 0; i < n; i++ {
+		s.Sample(&trial)
+		dec.Decode(trial.Defects)
+		sumW += with.Latency(&dec.Stats).Exposed
+		sumWo += without.Latency(&dec.Stats).Exposed
+	}
+	fmt.Printf("  mean exposed latency: %.1f ns with ZDR, %.1f ns without (%.0f%% saved)\n",
+		sumW/float64(n), sumWo/float64(n), 100*(1-sumW/sumWo))
+}
+
+// hierarchicalEconomics measures the §VII-B two-level scheme.
+func hierarchicalEconomics() {
+	fmt.Println("hierarchical decoding (local first stage + Union-Find fallback):")
+	w := newTable()
+	fmt.Fprintf(w, "d\tp\toffload fraction\n")
+	for _, cfg := range []struct {
+		d int
+		p float64
+	}{{11, 1e-4}, {11, 1e-3}, {11, 3e-3}, {5, 1e-3}, {17, 1e-3}} {
+		g := lattice.New3DWindow(cfg.d, cfg.d)
+		dec := hierarchical.New(g, core.NewDecoder(g, core.Options{}))
+		s := noise.NewSampler(g, cfg.p, opts.seed+63, 1)
+		var trial noise.Trial
+		for i := 0; i < trials(20000); i++ {
+			s.Sample(&trial)
+			dec.Decode(trial.Defects)
+		}
+		fmt.Fprintf(w, "%d\t%.0e\t%.3f\n", cfg.d, cfg.p, dec.Stats.OffloadFraction())
+	}
+	w.Flush()
+}
+
+// streamingWindows measures the accuracy cost of sliding-window decoding
+// versus window length.
+func streamingWindows() {
+	const d, T, p = 5, 20, 0.015
+	fmt.Printf("sliding-window decoding accuracy (d=%d, %d rounds, p=%g):\n", d, T, p)
+	g := lattice.New3D(d, T)
+	cut := g.NorthCutQubits()
+	per := g.LayerVertices()
+	n := trials(10000)
+	w := newTable()
+	fmt.Fprintf(w, "window\tcommit\tlogical failures\n")
+	for _, cfg := range []struct{ win, com int }{
+		{T + 1, 1}, // never slides: monolithic reference
+		{2 * d, d},
+		{d, d / 2},
+		{d / 2, d / 4},
+		{3, 1},
+	} {
+		s := noise.NewSampler(g, p, opts.seed+64, 1) // identical trial stream
+		dec, err := stream.New(d, cfg.win, cfg.com)
+		if err != nil {
+			fmt.Fprintf(w, "%d\t%d\terr: %v\n", cfg.win, cfg.com, err)
+			continue
+		}
+		var trial noise.Trial
+		failures := 0
+		layers := make([][]int32, T)
+		var residual noise.Bitset
+		for i := 0; i < n; i++ {
+			s.Sample(&trial)
+			for t := range layers {
+				layers[t] = layers[t][:0]
+			}
+			for _, v := range trial.Defects {
+				layers[int(v)/per] = append(layers[int(v)/per], int32(int(v)%per))
+			}
+			for _, l := range layers {
+				dec.PushLayer(l)
+			}
+			residual.Resize(g.NumDataQubits())
+			residual.Clear()
+			residual.Xor(trial.NetData)
+			for _, c := range dec.Flush() {
+				if c.Kind == lattice.Spatial {
+					residual.Flip(int(c.Qubit))
+				}
+			}
+			if residual.Parity(cut) {
+				failures++
+			}
+		}
+		label := fmt.Sprintf("%d", cfg.win)
+		if cfg.win > T {
+			label = "monolithic"
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d / %d\n", label, cfg.com, failures, n)
+	}
+	w.Flush()
+	fmt.Println("short windows lose context and miscorrect more; window = d recovers most of it.")
+}
+
+// backlogStability runs the §II-C queueing model per distance.
+func backlogStability() {
+	fmt.Println("backlog stability (400 ns syndrome rounds, one decoder per qubit):")
+	w := newTable()
+	fmt.Fprintf(w, "d\tutilization\tmax queue depth\tstable\n")
+	for _, d := range []int{7, 11, 15, 19, 23, 25} {
+		nt := trials(50000)
+		if d >= 19 {
+			nt = trials(15000)
+		}
+		lat := microarch.CollectLatencies(microarch.CollectConfig{
+			Distance: d, P: 1e-3, Trials: nt, Seed: opts.seed + 65, Workers: opts.workers,
+		})
+		r := backlog.Simulate(backlog.Config{
+			ArrivalNS: microarch.SyndromeRoundNS, Jobs: nt, Seed: opts.seed + 66,
+		}, lat.ExposedNS)
+		fmt.Fprintf(w, "%d\t%.2f\t%d\t%v\n", d, r.Utilization, r.MaxQueueDepth, r.Stable)
+	}
+	w.Flush()
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"fmt"
+
+	"afs"
+)
+
+// runFig8 regenerates paper Figure 8: the logical error rate of the AFS
+// (Union-Find) decoder across code distances and physical error rates. The
+// paper plots Eq. (1), the heuristic fit p_log = 0.15*(40p)^((d+1)/2); we
+// print the same curves and additionally validate the fit with direct
+// Monte-Carlo at the (d, p) points where failures are observable.
+func runFig8() {
+	distances := []int{3, 5, 7, 11, 15, 19, 25}
+	ps := []float64{1e-4, 3e-4, 1e-3, 3e-3, 1e-2}
+
+	var csvRows [][]string
+	fmt.Println("heuristic model, Eq. (1): p_log = 0.15*(40p)^((d+1)/2)")
+	w := newTable()
+	fmt.Fprintf(w, "p \\ d\t")
+	for _, d := range distances {
+		fmt.Fprintf(w, "d=%d\t", d)
+	}
+	fmt.Fprintf(w, "\n")
+	for _, p := range ps {
+		fmt.Fprintf(w, "%.0e\t", p)
+		for _, d := range distances {
+			fmt.Fprintf(w, "%s\t", sci(afs.HeuristicLogicalErrorRate(d, p)))
+			csvRows = append(csvRows, []string{"eq1", f64(p), i64(int64(d)),
+				f64(afs.HeuristicLogicalErrorRate(d, p)), "", "", "", ""})
+		}
+		fmt.Fprintf(w, "\n")
+	}
+	w.Flush()
+	fmt.Printf("design point d=11, p=1e-3: p_log = %s (paper: 6e-10)\n\n",
+		sci(afs.HeuristicLogicalErrorRate(11, 1e-3)))
+
+	fmt.Println("Monte-Carlo validation (3-D Union-Find decoding, d rounds per cycle):")
+	w = newTable()
+	fmt.Fprintf(w, "d\tp\ttrials\tfailures\tmeasured\t95%% CI\theuristic\n")
+	type point struct {
+		d    int
+		p    float64
+		base int
+	}
+	points := []point{
+		{3, 1e-2, 300000}, {3, 5e-3, 300000}, {3, 3e-3, 1000000},
+		{5, 1e-2, 200000}, {5, 5e-3, 500000},
+		{7, 1e-2, 100000}, {7, 5e-3, 300000},
+		{9, 1e-2, 60000},
+	}
+	for _, pt := range points {
+		n := uint64(trials(pt.base))
+		r, err := afs.MeasureLogicalErrorRate(afs.AccuracyConfig{
+			Distance: pt.d, P: pt.p, Trials: n,
+			Seed: opts.seed + uint64(pt.d)*7, Workers: opts.workers,
+		})
+		if err != nil {
+			fmt.Fprintf(w, "%d\t%.0e\terr: %v\n", pt.d, pt.p, err)
+			continue
+		}
+		fmt.Fprintf(w, "%d\t%.0e\t%d\t%d\t%s\t[%s, %s]\t%s\n",
+			pt.d, pt.p, r.Trials, r.Failures,
+			rateOrBound(r.LogicalErrorRate, r.CIHigh, r.Failures),
+			sci(r.CILow), sci(r.CIHigh),
+			sci(afs.HeuristicLogicalErrorRate(pt.d, pt.p)))
+		csvRows = append(csvRows, []string{"monte-carlo", f64(pt.p), i64(int64(pt.d)),
+			f64(r.LogicalErrorRate), f64(r.CILow), f64(r.CIHigh),
+			i64(int64(r.Failures)), i64(int64(r.Trials))})
+	}
+	w.Flush()
+	writeCSV("fig8_afs_accuracy",
+		[]string{"series", "p", "d", "ler", "ci_low", "ci_high", "failures", "trials"},
+		csvRows)
+	fmt.Println("Eq. (1) is calibrated for p << 1e-2; at these near-threshold rates it overestimates,")
+	fmt.Println("so measured rates below the heuristic are the expected relationship.")
+}

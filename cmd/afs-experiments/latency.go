@@ -1,0 +1,157 @@
+package main
+
+import (
+	"fmt"
+
+	"afs"
+	"afs/internal/stats"
+)
+
+// runLatency regenerates the dedicated-decoder latency analysis of paper
+// §IV-E: the latency distribution of one AFS decoder at d=11, p=1e-3 (42 ns
+// mean, <150 ns 99.9th percentile, within the 400 ns round), plus a
+// distance sweep.
+func runLatency() {
+	lat, err := afs.MeasureLatency(afs.LatencyConfig{
+		Distance: 11, P: 1e-3, Trials: trials(1000000),
+		Seed: opts.seed, Workers: opts.workers,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	s := lat.Summary
+	w := newTable()
+	fmt.Fprintf(w, "metric\tmeasured\tpaper\n")
+	fmt.Fprintf(w, "mean (ns)\t%.1f\t42\n", s.Mean)
+	fmt.Fprintf(w, "median (ns)\t%.1f\t-\n", s.Median)
+	fmt.Fprintf(w, "p99.9 (ns)\t%.1f\t<150\n", s.P999)
+	fmt.Fprintf(w, "max observed (ns)\t%.1f\t-\n", s.Max)
+	fmt.Fprintf(w, "within 400 ns budget\t%.6f\t1.0\n", lat.WithinBudget)
+	fmt.Fprintf(w, "mean syndrome weight\t%.2f\t<= 6d^3p = %.1f\n",
+		lat.MeanSyndromeWeight, 6*11.0*11*11*1e-3)
+	w.Flush()
+	fmt.Printf("stage utilization: Gr-Gen %.0f%%, DFS %.0f%%, CORR %.0f%% (motivates CDA sharing)\n",
+		100*lat.UtilGrGen, 100*lat.UtilDFS, 100*lat.UtilCorr)
+	fmt.Printf("stack high-water marks: runtime %d entries, edge %d entries\n\n",
+		lat.MaxRuntimeStack, lat.MaxEdgeStack)
+
+	fmt.Println("latency distribution (exposed latency histogram, d=11, p=1e-3):")
+	printHistogram(lat.Samples(), 0, 250, 25)
+	fmt.Println()
+
+	fmt.Println("mean decoding latency by code distance (p=1e-3):")
+	w = newTable()
+	var csvRows [][]string
+	fmt.Fprintf(w, "d\tmean (ns)\tmedian\tp99.9\twithin 400 ns\n")
+	for _, d := range []int{3, 5, 7, 11, 15, 19, 25} {
+		n := trials(200000)
+		if d >= 19 {
+			n = trials(50000)
+		}
+		r, err := afs.MeasureLatency(afs.LatencyConfig{
+			Distance: d, P: 1e-3, Trials: n,
+			Seed: opts.seed + uint64(d), Workers: opts.workers,
+		})
+		if err != nil {
+			fmt.Fprintf(w, "%d\terr: %v\n", d, err)
+			continue
+		}
+		fmt.Fprintf(w, "%d\t%.1f\t%.1f\t%.1f\t%.6f\n",
+			d, r.Summary.Mean, r.Summary.Median, r.Summary.P999, r.WithinBudget)
+		csvRows = append(csvRows, []string{i64(int64(d)), f64(r.Summary.Mean),
+			f64(r.Summary.Median), f64(r.Summary.P999), f64(r.WithinBudget)})
+	}
+	w.Flush()
+	writeCSV("latency_by_distance",
+		[]string{"d", "mean_ns", "median_ns", "p999_ns", "within_400ns"}, csvRows)
+	writeCSV("latency_distribution_d11", []string{"latency_ns"},
+		samplesToRows(lat.Samples()))
+}
+
+// samplesToRows converts a sample vector into single-column CSV rows,
+// thinning very large vectors to keep files manageable.
+func samplesToRows(xs []float64) [][]string {
+	const maxRows = 200000
+	stride := 1
+	if len(xs) > maxRows {
+		stride = len(xs)/maxRows + 1
+	}
+	rows := make([][]string, 0, len(xs)/stride+1)
+	for i := 0; i < len(xs); i += stride {
+		rows = append(rows, []string{f64(xs[i])})
+	}
+	return rows
+}
+
+// runFig12 regenerates paper Figure 12: the execution-time distribution of
+// the Conjoined-Decoder Architecture at d=11, p=1e-3 (mean 95 ns, median
+// 85 ns, p99.9 190 ns) and the probability of a timeout failure beyond
+// 350 ns (paper: 2e-11, from tail modeling).
+func runFig12() {
+	lat, err := afs.MeasureLatency(afs.LatencyConfig{
+		Distance: 11, P: 1e-3, Trials: trials(1000000),
+		Seed: opts.seed + 12, Workers: opts.workers,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	r, err := afs.SimulateCDA(&lat, afs.CDAConfig{Seed: opts.seed + 13})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	s := r.Summary
+	w := newTable()
+	fmt.Fprintf(w, "metric\tmeasured\tpaper\n")
+	fmt.Fprintf(w, "mean (ns)\t%.1f\t95\n", s.Mean)
+	fmt.Fprintf(w, "median (ns)\t%.1f\t85\n", s.Median)
+	fmt.Fprintf(w, "p99.9 (ns)\t%.1f\t190\n", s.P999)
+	fmt.Fprintf(w, "mean slowdown vs dedicated\t%.2fx\t~2.3x\n", r.MeanSlowdown)
+	fmt.Fprintf(w, "empirical P(> %.0f ns)\t%s\t-\n", r.TimeoutNS, sci(r.EmpiricalTimeoutRate))
+	fmt.Fprintf(w, "extrapolated p_tof\t%s\t2e-11\n", sci(r.PTimeout))
+	fmt.Fprintf(w, "logical error rate p_log\t%s\t6e-10\n", sci(afs.HeuristicLogicalErrorRate(11, 1e-3)))
+	w.Flush()
+	fmt.Println("accuracy constraint Eq. (4): p_tof << p_log;",
+		"see EXPERIMENTS.md for the tail-model discussion.")
+	fmt.Println()
+	fmt.Println("CDA completion-time distribution (d=11, p=1e-3):")
+	printHistogram(r.Samples(), 0, 400, 20)
+	writeCSV("fig12_cda_completion_d11", []string{"completion_ns"},
+		samplesToRows(r.Samples()))
+}
+
+// printHistogram renders an ASCII density histogram of the samples.
+func printHistogram(samples []float64, lo, hi float64, bins int) {
+	h := stats.NewHistogram(lo, hi, bins)
+	for _, x := range samples {
+		h.Add(x)
+	}
+	maxDensity := 0.0
+	for i := range h.Bins {
+		if d := h.Density(i); d > maxDensity {
+			maxDensity = d
+		}
+	}
+	if maxDensity == 0 {
+		fmt.Println("(no samples in range)")
+		return
+	}
+	for i := range h.Bins {
+		d := h.Density(i)
+		bar := int(d / maxDensity * 50)
+		fmt.Printf("%7.1f ns |%-50s| %.4f\n", h.BinCenter(i), repeat('#', bar), d)
+	}
+	if h.Over > 0 {
+		fmt.Printf("%7s    | >%g ns: %.2e of mass\n", "tail", hi, float64(h.Over)/float64(h.Total))
+	}
+}
+
+func repeat(c byte, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = c
+	}
+	return string(b)
+}

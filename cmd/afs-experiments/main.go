@@ -1,0 +1,119 @@
+// Command afs-experiments regenerates every table and figure of the AFS
+// paper's evaluation (HPCA 2022) from the models in this repository and
+// prints paper-versus-measured rows. With no flags it runs the full suite
+// at the default trial budget; individual experiments can be selected, and
+// -scale multiplies every Monte-Carlo trial budget (use -scale 10 or more
+// to approach the paper's 10^7-trial statistics).
+//
+// Usage:
+//
+//	afs-experiments [-fig3] [-fig8] [-latency] [-fig12] [-table1] [-table2]
+//	                [-fig9] [-fig13] [-fig15] [-compare]
+//	                [-scale N] [-seed S] [-workers W]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+)
+
+type options struct {
+	scale   float64
+	seed    uint64
+	workers int
+	csvDir  string
+}
+
+var opts options
+
+func main() {
+	var (
+		fig3    = flag.Bool("fig3", false, "Figure 3: MWPM logical error rate, perfect vs noisy measurements")
+		fig8    = flag.Bool("fig8", false, "Figure 8: AFS logical error rate (heuristic + Monte-Carlo)")
+		latency = flag.Bool("latency", false, "§IV-E: dedicated-decoder latency distribution")
+		fig12   = flag.Bool("fig12", false, "Figure 12: CDA latency distribution and timeout failures")
+		table1  = flag.Bool("table1", false, "Table I: per-logical-qubit decoder memory")
+		table2  = flag.Bool("table2", false, "Table II: 1000-qubit FTQC memory with/without CDA")
+		fig9    = flag.Bool("fig9", false, "Figure 9: decoder memory vs logical-qubit count")
+		fig13   = flag.Bool("fig13", false, "Figure 13: syndrome transmission bandwidth")
+		fig15   = flag.Bool("fig15", false, "Figure 15: syndrome compression ratio")
+		compare = flag.Bool("compare", false, "§V-F: comparison with SFQ decoders incl. threshold estimate")
+		ext     = flag.Bool("extensions", false, "design-space extensions: CDA sweep, ZDR, hierarchical, streaming, backlog")
+		scale   = flag.Float64("scale", 1, "multiply every Monte-Carlo trial budget")
+		seed    = flag.Uint64("seed", 2022, "base random seed")
+		workers = flag.Int("workers", 0, "worker goroutines (0 = all CPUs)")
+		csvDir  = flag.String("csv", "", "also write figure data series as CSV into this directory")
+	)
+	flag.Parse()
+	opts = options{scale: *scale, seed: *seed, workers: *workers, csvDir: *csvDir}
+
+	all := !(*fig3 || *fig8 || *latency || *fig12 || *table1 || *table2 ||
+		*fig9 || *fig13 || *fig15 || *compare || *ext)
+
+	start := time.Now()
+	type experiment struct {
+		enabled bool
+		name    string
+		run     func()
+	}
+	experiments := []experiment{
+		{all || *table1, "Table I", runTable1},
+		{all || *table2, "Table II", runTable2},
+		{all || *fig9, "Figure 9", runFig9},
+		{all || *fig13, "Figure 13", runFig13},
+		{all || *fig3, "Figure 3", runFig3},
+		{all || *fig8, "Figure 8", runFig8},
+		{all || *latency, "Latency (§IV-E)", runLatency},
+		{all || *fig12, "Figure 12", runFig12},
+		{all || *fig15, "Figure 15", runFig15},
+		{all || *compare, "Comparison (§V-F)", runCompare},
+		{all || *ext, "Extensions", runExtensions},
+	}
+	for _, e := range experiments {
+		if !e.enabled {
+			continue
+		}
+		t0 := time.Now()
+		fmt.Printf("==========================================================================\n")
+		fmt.Printf("%s\n", e.name)
+		fmt.Printf("==========================================================================\n")
+		e.run()
+		fmt.Printf("[%s completed in %v]\n\n", e.name, time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Printf("all experiments completed in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// trials scales a baseline Monte-Carlo budget.
+func trials(base int) int {
+	n := int(float64(base) * opts.scale)
+	if n < 100 {
+		n = 100
+	}
+	return n
+}
+
+// newTable returns a tabwriter for aligned experiment output.
+func newTable() *tabwriter.Writer {
+	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+}
+
+// sci formats a probability in compact scientific notation, with "<" bounds
+// for zero-failure estimates.
+func sci(x float64) string {
+	if x == 0 {
+		return "0"
+	}
+	return fmt.Sprintf("%.2e", x)
+}
+
+// rateOrBound renders a Monte-Carlo rate, falling back to a CI upper bound
+// when no failures were observed.
+func rateOrBound(rate, ciHigh float64, failures uint64) string {
+	if failures == 0 {
+		return fmt.Sprintf("<%.1e", ciHigh)
+	}
+	return sci(rate)
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSci(t *testing.T) {
+	if got := sci(0); got != "0" {
+		t.Fatalf("sci(0) = %q", got)
+	}
+	if got := sci(6.14e-10); got != "6.14e-10" {
+		t.Fatalf("sci = %q", got)
+	}
+}
+
+func TestRateOrBound(t *testing.T) {
+	if got := rateOrBound(0, 3e-5, 0); !strings.HasPrefix(got, "<") {
+		t.Fatalf("zero-failure bound = %q", got)
+	}
+	if got := rateOrBound(1e-3, 2e-3, 5); got != "1.00e-03" {
+		t.Fatalf("rate = %q", got)
+	}
+}
+
+func TestTrialsScaling(t *testing.T) {
+	opts.scale = 2
+	defer func() { opts.scale = 1 }()
+	if got := trials(1000); got != 2000 {
+		t.Fatalf("trials = %d", got)
+	}
+	opts.scale = 0.00001
+	if got := trials(1000); got != 100 {
+		t.Fatalf("trials floor = %d", got)
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	if got := repeat('#', 3); got != "###" {
+		t.Fatalf("repeat = %q", got)
+	}
+	if got := repeat('#', 0); got != "" {
+		t.Fatalf("repeat(0) = %q", got)
+	}
+}
+
+func TestKbMb(t *testing.T) {
+	if got := kb(8 * 1024); got != 1 {
+		t.Fatalf("kb = %v", got)
+	}
+	if got := mb(8 * 1024 * 1024); got != 1 {
+		t.Fatalf("mb = %v", got)
+	}
+}

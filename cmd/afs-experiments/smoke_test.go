@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestExperimentsSmoke executes every experiment at a minimal Monte-Carlo
+// budget, with stdout redirected to /dev/null: the experiment code paths
+// are the repository's primary deliverable, so they must at least run to
+// completion under `go test`.
+func TestExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment pipeline")
+	}
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	orig := os.Stdout
+	os.Stdout = devnull
+	defer func() { os.Stdout = orig }()
+
+	origOpts := opts
+	opts = options{scale: 0.0001, seed: 99, workers: 1}
+	defer func() { opts = origOpts }()
+
+	for _, e := range []struct {
+		name string
+		run  func()
+	}{
+		{"table1", runTable1},
+		{"table2", runTable2},
+		{"fig9", runFig9},
+		{"fig13", runFig13},
+		{"fig3", runFig3},
+		{"fig8", runFig8},
+		{"latency", runLatency},
+		{"fig12", runFig12},
+		{"fig15", runFig15},
+		{"compare", runCompare},
+		{"extensions", runExtensions},
+	} {
+		t.Run(e.name, func(t *testing.T) { e.run() })
+	}
+}
+
+// TestCSVExport verifies every figure's CSV series is written and
+// well-formed when -csv is set.
+func TestCSVExport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs experiment pipelines")
+	}
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	orig := os.Stdout
+	os.Stdout = devnull
+	defer func() { os.Stdout = orig }()
+
+	dir := t.TempDir()
+	origOpts := opts
+	opts = options{scale: 0.0001, seed: 7, workers: 1, csvDir: dir}
+	defer func() { opts = origOpts }()
+
+	runFig3()
+	runFig8()
+	runFig9()
+	runFig13()
+	runFig15()
+	runLatency()
+	runFig12()
+
+	os.Stdout = orig
+	for _, name := range []string{
+		"fig3_mwpm_accuracy", "fig8_afs_accuracy", "fig9_memory_scaling",
+		"fig13_bandwidth", "fig15_compression", "latency_by_distance",
+		"latency_distribution_d11", "fig12_cda_completion_d11",
+	} {
+		data, err := os.ReadFile(dir + "/" + name + ".csv")
+		if err != nil {
+			t.Errorf("missing CSV %s: %v", name, err)
+			continue
+		}
+		if len(data) < 10 {
+			t.Errorf("CSV %s suspiciously small (%d bytes)", name, len(data))
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Command afs-latency measures the AFS decoder's hardware latency
+// distribution (paper §IV-E) and, optionally, the Conjoined-Decoder
+// Architecture's contention behaviour (paper §V, Fig. 12) and the backlog
+// stability of the design point (paper §II-C).
+//
+// Examples:
+//
+//	afs-latency -d 11 -p 0.001 -trials 1000000
+//	afs-latency -d 11 -cda                 # add the decoder-block simulation
+//	afs-latency -d 25 -backlog             # show the backlog divergence
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"afs"
+	"afs/internal/backlog"
+	"afs/internal/microarch"
+)
+
+func main() {
+	var (
+		d       = flag.Int("d", 11, "code distance")
+		p       = flag.Float64("p", 1e-3, "physical error rate")
+		trials  = flag.Int("trials", 500000, "random syndromes to decode")
+		cda     = flag.Bool("cda", false, "also simulate a CDA decoder block")
+		blog    = flag.Bool("backlog", false, "also run the backlog stability model")
+		timeout = flag.Float64("timeout", 350, "CDA timeout threshold (ns)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		workers = flag.Int("workers", 0, "worker goroutines (0 = all CPUs)")
+	)
+	flag.Parse()
+
+	lat, err := afs.MeasureLatency(afs.LatencyConfig{
+		Distance: *d, P: *p, Trials: *trials, Seed: *seed, Workers: *workers,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "afs-latency: %v\n", err)
+		os.Exit(1)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "dedicated decoder (d=%d, p=%g, %d syndromes)\t\n", *d, *p, *trials)
+	fmt.Fprintf(w, "mean\t%.1f ns\n", lat.Summary.Mean)
+	fmt.Fprintf(w, "median\t%.1f ns\n", lat.Summary.Median)
+	fmt.Fprintf(w, "p99\t%.1f ns\n", lat.Summary.P99)
+	fmt.Fprintf(w, "p99.9\t%.1f ns\n", lat.Summary.P999)
+	fmt.Fprintf(w, "max observed\t%.1f ns\n", lat.Summary.Max)
+	fmt.Fprintf(w, "within %g ns round\t%.6f\n", afs.SyndromeRoundNS, lat.WithinBudget)
+	fmt.Fprintf(w, "stage utilization\tGr-Gen %.0f%%, DFS %.0f%%, CORR %.0f%%\n",
+		100*lat.UtilGrGen, 100*lat.UtilDFS, 100*lat.UtilCorr)
+	fmt.Fprintf(w, "stack high-water\truntime %d, edge %d entries\n",
+		lat.MaxRuntimeStack, lat.MaxEdgeStack)
+	w.Flush()
+
+	if *cda {
+		r, err := afs.SimulateCDA(&lat, afs.CDAConfig{TimeoutNS: *timeout, Seed: *seed + 1})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "afs-latency: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(w, "CDA decoder block (N=2 qubits, shared DFS/CORR)\t\n")
+		fmt.Fprintf(w, "mean\t%.1f ns (%.2fx dedicated)\n", r.Summary.Mean, r.MeanSlowdown)
+		fmt.Fprintf(w, "median\t%.1f ns\n", r.Summary.Median)
+		fmt.Fprintf(w, "p99.9\t%.1f ns\n", r.Summary.P999)
+		fmt.Fprintf(w, "deadline\t%.0f ns\n", r.TimeoutNS)
+		fmt.Fprintf(w, "empirical timeout rate\t%.3e\n", r.EmpiricalTimeoutRate)
+		fmt.Fprintf(w, "extrapolated p_tof\t%.3e\n", r.PTimeout)
+		w.Flush()
+	}
+
+	if *blog {
+		br := backlog.Simulate(backlog.Config{
+			ArrivalNS: microarch.SyndromeRoundNS,
+			Jobs:      *trials,
+			Seed:      *seed + 2,
+		}, lat.Samples())
+		fmt.Println()
+		w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(w, "backlog model (%g ns syndrome rounds)\t\n", microarch.SyndromeRoundNS)
+		fmt.Fprintf(w, "stable\t%v (utilization %.2f)\n", br.Stable, br.Utilization)
+		fmt.Fprintf(w, "max queue depth\t%d\n", br.MaxQueueDepth)
+		fmt.Fprintf(w, "final queue depth\t%d\n", br.FinalQueueDepth)
+		fmt.Fprintf(w, "mean wait\t%.1f ns\n", br.WaitNS.Mean)
+		fmt.Fprintf(w, "mean sojourn\t%.1f ns\n", br.SojournNS.Mean)
+		w.Flush()
+	}
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("3, 5,7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{3, 5, 7}) {
+		t.Fatalf("parseInts = %v", got)
+	}
+	if _, err := parseInts("3,x"); err == nil {
+		t.Fatal("bad int accepted")
+	}
+}
+
+func TestParseFloats(t *testing.T) {
+	got, err := parseFloats("0.001, 1e-4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []float64{0.001, 1e-4}) {
+		t.Fatalf("parseFloats = %v", got)
+	}
+	if _, err := parseFloats("0.1,?"); err == nil {
+		t.Fatal("bad float accepted")
+	}
+}

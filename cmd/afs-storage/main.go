@@ -1,0 +1,76 @@
+// Command afs-storage prints the decoder memory model: per-logical-qubit
+// component sizes across code distances (paper Table I) and system totals
+// for fleets of logical qubits with and without the Conjoined-Decoder
+// Architecture (paper Table II, Fig. 9). It also prints the lookup-table
+// decoder's storage for contrast — the exponential wall that motivates
+// algorithmic decoding.
+//
+// Examples:
+//
+//	afs-storage                      # distance sweep
+//	afs-storage -l 1000 -d 11        # one system configuration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"afs"
+	"afs/internal/lattice"
+	"afs/internal/lut"
+)
+
+func main() {
+	var (
+		l = flag.Int("l", 1000, "logical qubits in the system")
+		d = flag.Int("d", 0, "single code distance (0 = sweep 3..25)")
+	)
+	flag.Parse()
+
+	distances := []int{3, 5, 7, 9, 11, 13, 15, 17, 19, 21, 23, 25}
+	if *d != 0 {
+		distances = []int{*d}
+	}
+
+	fmt.Println("per-logical-qubit decoder memory (X and Z decoders, p=1e-3 provisioning):")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "d\tSTM (KB)\tRoot (KB)\tSize (KB)\tStacks (KB)\ttotal (KB)\tLUT decoder\n")
+	for _, dist := range distances {
+		q := afs.MemoryPerQubit(dist)
+		fmt.Fprintf(w, "%d\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%s\n",
+			dist,
+			kb(q.STMBits), kb(q.RootBits), kb(q.SizeBits), kb(q.StackBits),
+			q.TotalKB(), lutSize(dist))
+	}
+	w.Flush()
+
+	fmt.Printf("\nsystem memory for %d logical qubits:\n", *l)
+	w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "d\tdedicated (MB)\tCDA (MB)\treduction\n")
+	for _, dist := range distances {
+		fmt.Fprintf(w, "%d\t%.2f\t%.2f\t%.2fx\n",
+			dist,
+			afs.SystemMemory(*l, dist, false).TotalMB(),
+			afs.SystemMemory(*l, dist, true).TotalMB(),
+			afs.CDAMemoryReduction(*l, dist))
+	}
+	w.Flush()
+}
+
+// lutSize reports the 2-D lookup-table size where it is constructible, and
+// the would-be entry count where it is not — the scalability argument in
+// one column.
+func lutSize(d int) string {
+	m := d * (d - 1)
+	if m <= lut.MaxTableBits {
+		dec, err := lut.New(lattice.New2D(d))
+		if err == nil {
+			return fmt.Sprintf("%.1f KB (2-D only)", float64(dec.TableBytes())/1024)
+		}
+	}
+	return fmt.Sprintf("2^%d entries (infeasible)", m)
+}
+
+func kb(bits int64) float64 { return float64(bits) / 8 / 1024 }

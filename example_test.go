@@ -1,0 +1,114 @@
+package afs_test
+
+import (
+	"fmt"
+
+	"afs"
+)
+
+// The basic decode loop: build an engine for a logical qubit, sample noisy
+// logical cycles, and decode them.
+func ExampleNew() {
+	engine := afs.New(5) // distance-5, decoding 5-round logical cycles
+	sampler := engine.NewSampler(0.01, 7)
+
+	var sy afs.Syndrome
+	sampler.Sample(&sy)
+	res := engine.Decode(&sy)
+
+	fmt.Println("detection events:", sy.Weight())
+	fmt.Println("correction edges:", len(res.Correction))
+	fmt.Println("ground truth checked:", res.Checked)
+	// Output:
+	// detection events: 1
+	// correction edges: 1
+	// ground truth checked: true
+}
+
+// Eq. (1) of the paper: the logical error rate of the Union-Find decoder
+// under phenomenological noise.
+func ExampleHeuristicLogicalErrorRate() {
+	fmt.Printf("%.2e\n", afs.HeuristicLogicalErrorRate(11, 1e-3))
+	// Output:
+	// 6.14e-10
+}
+
+// Table I of the paper: decoder memory for one logical qubit.
+func ExampleMemoryPerQubit() {
+	q := afs.MemoryPerQubit(11)
+	fmt.Printf("d=11 decoder pair: %.2f KB\n", q.TotalKB())
+	q25 := afs.MemoryPerQubit(25)
+	fmt.Printf("d=25 decoder pair: %.1f KB\n", q25.TotalKB())
+	// Output:
+	// d=11 decoder pair: 8.96 KB
+	// d=25 decoder pair: 133.1 KB
+}
+
+// Figure 13 of the paper: syndrome-transmission bandwidth.
+func ExampleRequiredBandwidthGbps() {
+	fmt.Printf("%.0f Gbps\n", afs.RequiredBandwidthGbps(1000, 11, 400))
+	// Output:
+	// 550 Gbps
+}
+
+// A logical qubit carries two decoders: X and Z errors are corrected
+// independently.
+func ExampleNewLogicalQubit() {
+	qubit := afs.NewLogicalQubit(5)
+	sampler := qubit.NewSampler(0.01, 7)
+
+	var x, z afs.Syndrome
+	sampler.Sample(&x, &z)
+	res := qubit.DecodeCycle(&x, &z)
+
+	fmt.Println("X events:", x.Weight(), "Z events:", z.Weight())
+	fmt.Println("logical error:", res.LogicalError())
+	// Output:
+	// X events: 1 Z events: 5
+	// logical error: false
+}
+
+// A fleet of logical qubits decoding concurrently.
+func ExampleNewSystem() {
+	sys, err := afs.NewSystem(afs.SystemConfig{
+		LogicalQubits: 4, Distance: 3, P: 0.01, Seed: 9, Workers: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	sys.RunCycles(100)
+	fmt.Println("qubit-cycles decoded:", sys.Cycles)
+	// Output:
+	// qubit-cycles decoded: 400
+}
+
+// Streaming decode of a continuous round stream: a repeated detection
+// event at the same ancilla in consecutive rounds is the signature of a
+// measurement error.
+func ExampleNewStreamDecoder() {
+	dec, err := afs.NewStreamDecoder(5, 0, 0)
+	if err != nil {
+		panic(err)
+	}
+	dec.PushRound([]int32{7})
+	dec.PushRound([]int32{7})
+	for i := 0; i < 8; i++ {
+		dec.PushRound(nil)
+	}
+	corr := dec.Flush()
+	fmt.Println("corrections:", len(corr))
+	fmt.Println("data correction:", afs.IsDataCorrection(corr[0]))
+	// Output:
+	// corrections: 1
+	// data correction: false
+}
+
+// Table II of the paper: system memory with the Conjoined-Decoder
+// Architecture.
+func ExampleSystemMemory() {
+	ded := afs.SystemMemory(1000, 11, false)
+	cda := afs.SystemMemory(1000, 11, true)
+	fmt.Printf("dedicated: %.2f MB, CDA: %.2f MB\n", ded.TotalMB(), cda.TotalMB())
+	// Output:
+	// dedicated: 10.01 MB, CDA: 3.01 MB
+}

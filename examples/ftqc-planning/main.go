@@ -1,0 +1,93 @@
+// FTQC planning: size the classical decoding subsystem of a fault-tolerant
+// quantum computer with 1000 logical qubits — the quantum-chemistry-scale
+// machine the paper targets (§V, nitrogen fixation needs 100-1000s of
+// logical qubits).
+//
+// The example walks the paper's three system-level questions: storage
+// (dedicated decoders vs the Conjoined-Decoder Architecture), accuracy
+// under sharing (does the CDA timeout failure rate stay negligible next to
+// the logical error rate, Eq. 4?), and bandwidth (raw syndrome traffic vs
+// Syndrome Compression).
+//
+//	go run ./examples/ftqc-planning
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"afs"
+)
+
+func main() {
+	const (
+		logicalQubits = 1000
+		distance      = 11
+		p             = 1e-3
+	)
+	fmt.Printf("FTQC: %d logical qubits, distance-%d surface code, p=%.0e\n",
+		logicalQubits, distance, p)
+	fmt.Printf("physical qubits: %.1f million\n\n",
+		float64(logicalQubits)*float64((2*distance-1)*(2*distance-1))/1e6)
+
+	// 1. Storage.
+	ded := afs.SystemMemory(logicalQubits, distance, false)
+	cda := afs.SystemMemory(logicalQubits, distance, true)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "decoder storage\tdedicated\tCDA\n")
+	fmt.Fprintf(w, "total\t%.2f MB\t%.2f MB\n", ded.TotalMB(), cda.TotalMB())
+	fmt.Fprintf(w, "reduction\t\t%.2fx\n", afs.CDAMemoryReduction(logicalQubits, distance))
+	w.Flush()
+
+	// 2. Accuracy under sharing.
+	fmt.Println("\nmeasuring decoder-block contention (this samples ~500k syndromes)...")
+	lat, err := afs.MeasureLatency(afs.LatencyConfig{
+		Distance: distance, P: p, Trials: 500000, Seed: 99,
+	})
+	if err != nil {
+		fail(err)
+	}
+	blk, err := afs.SimulateCDA(&lat, afs.CDAConfig{Seed: 100})
+	if err != nil {
+		fail(err)
+	}
+	plog := afs.HeuristicLogicalErrorRate(distance, p)
+	w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "dedicated decode latency\tmean %.0f ns, p99.9 %.0f ns\n",
+		lat.Summary.Mean, lat.Summary.P999)
+	fmt.Fprintf(w, "CDA completion time\tmean %.0f ns, p99.9 %.0f ns (deadline %.0f ns)\n",
+		blk.Summary.Mean, blk.Summary.P999, blk.TimeoutNS)
+	fmt.Fprintf(w, "timeout failure rate p_tof\t%.1e\n", blk.PTimeout)
+	fmt.Fprintf(w, "logical error rate p_log\t%.1e\n", plog)
+	w.Flush()
+	if blk.PTimeout < plog {
+		fmt.Println("Eq. (4) satisfied: sharing does not dominate the failure budget.")
+	} else {
+		fmt.Println("Eq. (4) NOT satisfied under this latency model: provision more DFS/CORR")
+		fmt.Println("units per block (see the CDA sharing ablation bench) or relax sharing.")
+	}
+
+	// 3. Bandwidth.
+	fmt.Println("\nmeasuring syndrome compression on this traffic...")
+	comp, err := afs.MeasureCompression(afs.CompressionConfig{
+		Distance: distance, P: p, Trials: 5000, Seed: 101,
+	})
+	if err != nil {
+		fail(err)
+	}
+	raw := afs.RequiredBandwidthGbps(logicalQubits, distance, 400)
+	w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "syndrome traffic\t%d bits per %g ns round\n",
+		afs.SyndromeBitsPerRound(logicalQubits, distance), afs.SyndromeRoundNS)
+	fmt.Fprintf(w, "raw bandwidth (400 ns window)\t%.0f Gbps\n", raw)
+	fmt.Fprintf(w, "hybrid compression (mean per frame)\t%.1fx\n", comp.MeanRatio)
+	fmt.Fprintf(w, "aggregate link reduction\t%.1fx\n", comp.AggregateRatio)
+	fmt.Fprintf(w, "compressed bandwidth\t%.1f Gbps\n", raw/comp.AggregateRatio)
+	w.Flush()
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "ftqc-planning: %v\n", err)
+	os.Exit(1)
+}

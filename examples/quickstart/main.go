@@ -1,0 +1,48 @@
+// Quickstart: build a decoder for one logical qubit, sample a noisy logical
+// cycle, decode it, and inspect the result.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"afs"
+)
+
+func main() {
+	// A distance-11 logical qubit — the paper's design point. Each logical
+	// qubit carries two decoders (X and Z errors are corrected
+	// independently), and each decodes full logical cycles (11 rounds of
+	// syndrome measurement) so that measurement errors are tolerated.
+	const distance = 11
+	qubit := afs.NewLogicalQubit(distance)
+	engine := qubit.Engine(afs.XErrors)
+	fmt.Printf("surface code: distance %d, %d data qubits, %d ancillas per type\n",
+		engine.Distance(), engine.NumDataQubits(), engine.NumAncillas())
+	fmt.Printf("decoding graph per basis: %d detector layers, %d vertices, %d edges\n\n",
+		engine.Rounds(), engine.Graph().V, len(engine.Graph().Edges))
+
+	// Sample logical cycles at physical error rate 1e-3 and decode both
+	// bases each cycle.
+	sampler := qubit.NewSampler(1e-3, 2022)
+	var sx, sz afs.Syndrome
+	for i := 1; i <= 5; i++ {
+		sampler.Sample(&sx, &sz)
+		res := qubit.DecodeCycle(&sx, &sz)
+
+		x := qubit.Engine(afs.XErrors).Summarize(res.X)
+		z := qubit.Engine(afs.ZErrors).Summarize(res.Z)
+		fmt.Printf("cycle %d: X: %2d events -> %d fixes + %d flags | Z: %2d events -> %d fixes + %d flags | %5.1f ns\n",
+			i, sx.Weight(), x.DataFixes, x.MeasurementFlags,
+			sz.Weight(), z.DataFixes, z.MeasurementFlags, res.LatencyNS)
+		if res.LogicalError() {
+			fmt.Println("          -> LOGICAL ERROR (expected about once every 800 million cycles)")
+		}
+	}
+
+	fmt.Printf("\nexpected logical error rate at this design point: %.1e per cycle (paper Eq. 1)\n",
+		afs.HeuristicLogicalErrorRate(distance, 1e-3))
+	fmt.Printf("decoder memory for this logical qubit: %.2f KB (paper Table I)\n",
+		afs.MemoryPerQubit(distance).TotalKB())
+}

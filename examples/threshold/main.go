@@ -1,0 +1,82 @@
+// Threshold estimation: locate the accuracy threshold of the Union-Find
+// decoder under the phenomenological noise model by finding where logical
+// error rate curves for different code distances cross (paper §V-F quotes
+// ~2.6% for AFS, citing Delfosse & Nickerson).
+//
+// Below threshold, increasing the distance suppresses logical errors;
+// above it, larger codes are WORSE. The crossing of the d and d+2 curves
+// estimates the threshold.
+//
+//	go run ./examples/threshold [-trials N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"afs"
+)
+
+func main() {
+	trials := flag.Uint64("trials", 40000, "Monte-Carlo trials per point")
+	flag.Parse()
+
+	distances := []int{5, 7, 9}
+	ps := []float64{0.016, 0.020, 0.024, 0.026, 0.028, 0.032}
+
+	fmt.Println("logical error rate per cycle (Union-Find, phenomenological noise):")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "p\t")
+	for _, d := range distances {
+		fmt.Fprintf(w, "d=%d\t", d)
+	}
+	fmt.Fprintf(w, "regime\n")
+
+	rates := make(map[int]map[float64]float64)
+	for _, d := range distances {
+		rates[d] = map[float64]float64{}
+	}
+	for _, p := range ps {
+		fmt.Fprintf(w, "%.3f\t", p)
+		for _, d := range distances {
+			r, err := afs.MeasureLogicalErrorRate(afs.AccuracyConfig{
+				Distance: d, P: p, Trials: *trials, Seed: uint64(1000*p) + uint64(d),
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "threshold: %v\n", err)
+				os.Exit(1)
+			}
+			rates[d][p] = r.LogicalErrorRate
+			fmt.Fprintf(w, "%.4f\t", r.LogicalErrorRate)
+		}
+		if rates[distances[len(distances)-1]][p] < rates[distances[0]][p] {
+			fmt.Fprintf(w, "below threshold\n")
+		} else {
+			fmt.Fprintf(w, "above threshold\n")
+		}
+	}
+	w.Flush()
+
+	// Linear interpolation of the crossing between the smallest and the
+	// largest distance.
+	dLo, dHi := distances[0], distances[len(distances)-1]
+	var lastBelow, firstAbove float64
+	for _, p := range ps {
+		if rates[dHi][p] < rates[dLo][p] {
+			lastBelow = p
+		} else if firstAbove == 0 {
+			firstAbove = p
+		}
+	}
+	switch {
+	case lastBelow == 0:
+		fmt.Println("\nall sampled rates are above threshold; extend the sweep downward")
+	case firstAbove == 0:
+		fmt.Println("\nall sampled rates are below threshold; extend the sweep upward")
+	default:
+		fmt.Printf("\nestimated threshold: between %.3f and %.3f (paper: ~%.3f)\n",
+			lastBelow, firstAbove, afs.UFThreshold)
+	}
+}

@@ -1,0 +1,124 @@
+// Transmission pipeline: the full data path of Figure 1(c), end to end.
+//
+// Syndromes are extracted round by round, compressed with Syndrome
+// Compression, sent over the (bandwidth-limited) link, decompressed beside
+// the decoders, and fed to a streaming AFS decoder that commits
+// corrections window by window. The example verifies losslessness of the
+// link and reports the bandwidth the compression saved.
+//
+//	go run ./examples/transmission-pipeline
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"afs/internal/compress"
+	"afs/internal/lattice"
+	"afs/internal/noise"
+	"afs/internal/stream"
+	"afs/internal/syndrome"
+)
+
+func main() {
+	const (
+		d      = 11
+		rounds = 44 // four logical cycles of continuous operation
+		p      = 1e-3
+	)
+
+	// --- quantum substrate side -----------------------------------------
+	g := lattice.New3D(d, rounds)
+	sx := noise.NewSampler(g, p, 2022, 1) // X-error detection stream
+	sz := noise.NewSampler(g, p, 2022, 2) // Z-error detection stream
+	var tx, tz noise.Trial
+	sx.Sample(&tx)
+	sz.Sample(&tz)
+	fx := syndrome.RoundFrames(g, tx.Defects, nil)
+	fz := syndrome.RoundFrames(g, tz.Defects, nil)
+
+	layout := syndrome.NewLayout(d)
+	comp := compress.New(layout, compress.Config{})
+
+	// --- decoder side -----------------------------------------------------
+	decomp := compress.New(layout, compress.Config{})
+	dec, err := stream.New(d, d, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pipeline:", err)
+		os.Exit(1)
+	}
+
+	var rawBits, sentBits int
+	var combined, received noise.Bitset
+	per := g.LayerVertices()
+	for t := 0; t < rounds; t++ {
+		// Transmitter: combine both ancilla types into the round frame and
+		// compress with the best scheme.
+		syndrome.Combine(layout, fx[t], fz[t], &combined)
+		packet := append([]byte(nil), comp.Encode(combined)...)
+		rawBits += comp.FrameBits()
+		sentBits += comp.EncodedBits()
+
+		// Receiver: decompress and hand the X-type events to the decoder.
+		if err := decomp.Decode(packet, &received); err != nil {
+			fmt.Fprintln(os.Stderr, "pipeline: corrupted packet:", err)
+			os.Exit(1)
+		}
+		var events []int32
+		received.ForEachSet(func(bit int) {
+			if bit < layout.BitsPerType { // Z-ancilla bits = X-error events
+				events = append(events, int32(bit))
+			}
+		})
+		dec.PushLayer(events)
+	}
+	corrections := dec.Flush()
+
+	// --- verification -----------------------------------------------------
+	marks := map[int32]bool{}
+	toggle := func(v int32) {
+		if !g.IsBoundary(v) {
+			marks[v] = !marks[v]
+		}
+	}
+	residual := noise.NewBitset(g.NumDataQubits())
+	residual.Xor(tx.NetData)
+	dataFixes, measFlags := 0, 0
+	for _, c := range corrections {
+		switch c.Kind {
+		case lattice.Spatial:
+			e := g.Edges[g.SpatialEdge(c.Qubit, c.Round)]
+			toggle(e.U)
+			toggle(e.V)
+			residual.Flip(int(c.Qubit))
+			dataFixes++
+		case lattice.Temporal:
+			toggle(int32(c.Round*per) + c.Ancilla)
+			toggle(int32((c.Round+1)*per) + c.Ancilla)
+			measFlags++
+		}
+	}
+	for _, v := range tx.Defects {
+		marks[v] = !marks[v]
+	}
+	for _, odd := range marks {
+		if odd {
+			fmt.Fprintln(os.Stderr, "pipeline: corrections do not explain the syndrome")
+			os.Exit(1)
+		}
+	}
+
+	fmt.Printf("streamed %d rounds of distance-%d syndrome data (p=%g)\n", rounds, d, p)
+	fmt.Printf("  detection events: %d X-type (decoded), %d Z-type (transported)\n",
+		len(tx.Defects), len(tz.Defects))
+	fmt.Printf("  link traffic: %d bits raw -> %d bits sent (%.1fx reduction)\n",
+		rawBits, sentBits, float64(rawBits)/float64(sentBits))
+	fmt.Printf("  committed corrections: %d data-qubit fixes, %d measurement-error flags\n",
+		dataFixes, measFlags)
+	fmt.Printf("  syndrome fully explained: yes\n")
+	if residual.Parity(g.NorthCutQubits()) {
+		fmt.Printf("  logical state: ERROR (a ~1e-9 event per cycle — rerun with another seed)\n")
+	} else {
+		fmt.Printf("  logical state: preserved\n")
+	}
+}

@@ -1,0 +1,3 @@
+module afs
+
+go 1.22

@@ -1,0 +1,147 @@
+package afs_test
+
+import (
+	"testing"
+
+	"afs"
+	"afs/internal/compress"
+	"afs/internal/lattice"
+	"afs/internal/noise"
+	"afs/internal/syndrome"
+)
+
+// TestEndToEndPipeline drives the complete Figure 1(c) data path as one
+// integration test: phenomenological noise -> per-round syndrome frames ->
+// Syndrome Compression -> transmission -> decompression -> streaming AFS
+// decoding -> verification that the committed corrections explain every
+// detection event. Run over many shots, it also cross-checks the logical
+// failure count against the monolithic decoder's order of magnitude.
+func TestEndToEndPipeline(t *testing.T) {
+	const (
+		d      = 7
+		rounds = 21
+		p      = 5e-3
+		shots  = 150
+	)
+	g := lattice.New3D(d, rounds)
+	layout := syndrome.NewLayout(d)
+	comp := compress.New(layout, compress.Config{})
+	decomp := compress.New(layout, compress.Config{})
+	per := g.LayerVertices()
+	cut := g.NorthCutQubits()
+
+	sx := noise.NewSampler(g, p, 77, 1)
+	sz := noise.NewSampler(g, p, 77, 2)
+	var tx, tz noise.Trial
+	var combined, received noise.Bitset
+
+	logicalFailures := 0
+	var totalRaw, totalSent int
+	for shot := 0; shot < shots; shot++ {
+		sx.Sample(&tx)
+		sz.Sample(&tz)
+		fx := syndrome.RoundFrames(g, tx.Defects, nil)
+		fz := syndrome.RoundFrames(g, tz.Defects, nil)
+
+		dec, err := afs.NewStreamDecoder(d, d, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < rounds; r++ {
+			syndrome.Combine(layout, fx[r], fz[r], &combined)
+			packet := append([]byte(nil), comp.Encode(combined)...)
+			totalRaw += comp.FrameBits()
+			totalSent += comp.EncodedBits()
+			if err := decomp.Decode(packet, &received); err != nil {
+				t.Fatalf("shot %d round %d: link corruption: %v", shot, r, err)
+			}
+			var events []int32
+			received.ForEachSet(func(bit int) {
+				if bit < layout.BitsPerType {
+					events = append(events, int32(bit))
+				}
+			})
+			dec.PushRound(events)
+		}
+		corr := dec.Flush()
+
+		// The committed corrections must explain every detection event.
+		marks := map[int32]bool{}
+		toggle := func(v int32) {
+			if !g.IsBoundary(v) {
+				marks[v] = !marks[v]
+			}
+		}
+		residual := noise.NewBitset(g.NumDataQubits())
+		residual.Xor(tx.NetData)
+		for _, c := range corr {
+			if afs.IsDataCorrection(c) {
+				e := g.Edges[g.SpatialEdge(c.Qubit, c.Round)]
+				toggle(e.U)
+				toggle(e.V)
+				residual.Flip(int(c.Qubit))
+			} else {
+				toggle(int32(c.Round*per) + c.Ancilla)
+				toggle(int32((c.Round+1)*per) + c.Ancilla)
+			}
+		}
+		for _, v := range tx.Defects {
+			marks[v] = !marks[v]
+		}
+		for v, odd := range marks {
+			if odd {
+				t.Fatalf("shot %d: unexplained detection event at vertex %d", shot, v)
+			}
+		}
+		if residual.Parity(cut) {
+			logicalFailures++
+		}
+	}
+
+	if totalSent >= totalRaw {
+		t.Fatalf("compression expanded the stream: %d -> %d bits", totalRaw, totalSent)
+	}
+	ratio := float64(totalRaw) / float64(totalSent)
+	if ratio < 2 {
+		t.Fatalf("aggregate compression ratio %.1f implausibly low at p=%g", ratio, p)
+	}
+	// d=7 at p=5e-3 over 3 logical cycles: expect a few failures per
+	// thousand shots; tolerate a broad band but catch gross breakage.
+	if logicalFailures > shots/5 {
+		t.Fatalf("%d/%d logical failures — decoding through the pipeline is broken",
+			logicalFailures, shots)
+	}
+	t.Logf("pipeline: %.1fx link compression, %d/%d logical failures",
+		ratio, logicalFailures, shots)
+}
+
+// TestStreamDecoderFacade exercises the streaming facade API directly.
+func TestStreamDecoderFacade(t *testing.T) {
+	dec, err := afs.NewStreamDecoder(5, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Distance() != 5 || dec.Window() != 5 {
+		t.Fatalf("facade dims: d=%d w=%d", dec.Distance(), dec.Window())
+	}
+	// A persistent measurement error signature: defects in consecutive
+	// rounds at the same ancilla.
+	dec.PushRound([]int32{7})
+	dec.PushRound([]int32{7})
+	for i := 0; i < 8; i++ {
+		dec.PushRound(nil)
+	}
+	if len(dec.Committed()) == 0 {
+		t.Fatal("nothing committed after two full windows")
+	}
+	corr := dec.Flush()
+	if len(corr) != 1 || afs.IsDataCorrection(corr[0]) {
+		t.Fatalf("expected one measurement-error flag, got %v", corr)
+	}
+	if corr[0].Ancilla != 7 || corr[0].Round != 0 {
+		t.Fatalf("flag at wrong site: %+v", corr[0])
+	}
+	if _, err := afs.NewStreamDecoder(1, 0, 0); err == nil {
+		t.Fatal("d=1 accepted")
+	}
+}

@@ -1,0 +1,118 @@
+// Package backlog models the backlog problem (paper §II-C, [Terhal, RMP
+// 87]): syndrome data arrives once per logical cycle, and if the decoder
+// cannot keep up, undecoded syndromes accumulate. Because a fault-tolerant
+// computation cannot execute a non-Clifford gate until the relevant
+// syndromes are decoded, a growing backlog stalls the machine — this is
+// why the paper insists decoders finish within one syndrome measurement
+// round (400 ns).
+//
+// The model is a deterministic-arrival, general-service (D/G/1) queue:
+// decoding jobs arrive every ArrivalNS nanoseconds and are served by one
+// decoder whose service times are drawn from a measured latency
+// distribution. The queue is stable exactly when the mean service time is
+// below the arrival period; the simulation quantifies both regimes — how
+// deep the queue gets at d=11 (never more than a job or two) and how fast
+// it diverges when the decoder is too slow for the code.
+package backlog
+
+import (
+	"math/rand/v2"
+
+	"afs/internal/stats"
+)
+
+// Config describes a backlog simulation.
+type Config struct {
+	// ArrivalNS is the period between decoding jobs (one logical cycle per
+	// syndrome round; the paper's superconducting round is 400 ns).
+	ArrivalNS float64
+	// Jobs is the number of arrivals to simulate.
+	Jobs int
+	// Seed makes the run reproducible.
+	Seed uint64
+}
+
+// Result summarizes queue behaviour.
+type Result struct {
+	// Stable reports whether the mean service time is below the arrival
+	// period (the queueing stability condition).
+	Stable bool
+	// Utilization is mean service time over arrival period.
+	Utilization float64
+	// MaxQueueDepth is the deepest backlog observed (jobs waiting or in
+	// service).
+	MaxQueueDepth int
+	// FinalQueueDepth is the backlog when the run ends; for an unstable
+	// system it grows linearly with the number of jobs.
+	FinalQueueDepth int
+	// WaitNS summarizes the time jobs spent queued before service began.
+	WaitNS stats.Summary
+	// SojournNS summarizes total time from arrival to completion.
+	SojournNS stats.Summary
+}
+
+// Simulate runs the queue over service times drawn uniformly from the pool
+// (a measured latency distribution, e.g. LatencyResult.Samples()).
+func Simulate(cfg Config, pool []float64) Result {
+	if cfg.ArrivalNS <= 0 {
+		panic("backlog: arrival period must be positive")
+	}
+	if len(pool) == 0 {
+		panic("backlog: empty service-time pool")
+	}
+	if cfg.Jobs <= 0 {
+		panic("backlog: jobs must be positive")
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0xbac1))
+
+	var meanService float64
+	for _, s := range pool {
+		meanService += s
+	}
+	meanService /= float64(len(pool))
+
+	res := Result{
+		Stable:      meanService < cfg.ArrivalNS,
+		Utilization: meanService / cfg.ArrivalNS,
+	}
+
+	waits := make([]float64, cfg.Jobs)
+	sojourns := make([]float64, cfg.Jobs)
+	// completion[i] is when job i finishes; the queue depth at an arrival
+	// is the number of earlier jobs not yet complete. Track with a moving
+	// window index since completions are monotone for a single server.
+	serverFree := 0.0
+	completions := make([]float64, cfg.Jobs)
+	oldest := 0
+	for i := 0; i < cfg.Jobs; i++ {
+		arrive := float64(i) * cfg.ArrivalNS
+		start := arrive
+		if serverFree > start {
+			start = serverFree
+		}
+		service := pool[rng.IntN(len(pool))]
+		serverFree = start + service
+		completions[i] = serverFree
+		waits[i] = start - arrive
+		sojourns[i] = serverFree - arrive
+
+		for oldest < i && completions[oldest] <= arrive {
+			oldest++
+		}
+		depth := i - oldest + 1
+		if depth > res.MaxQueueDepth {
+			res.MaxQueueDepth = depth
+		}
+	}
+	endTime := float64(cfg.Jobs-1) * cfg.ArrivalNS
+	final := 0
+	for i := oldest; i < cfg.Jobs; i++ {
+		if completions[i] > endTime {
+			final++
+		}
+	}
+	res.FinalQueueDepth = final
+	res.WaitNS = stats.Summarize(waits)
+	res.SojournNS = stats.Summarize(sojourns)
+	return res
+}

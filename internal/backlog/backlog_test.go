@@ -1,0 +1,100 @@
+package backlog
+
+import (
+	"testing"
+
+	"afs/internal/microarch"
+)
+
+func TestFastDecoderNoBacklog(t *testing.T) {
+	// Service always 100 ns against 400 ns arrivals: no job ever waits.
+	r := Simulate(Config{ArrivalNS: 400, Jobs: 10000, Seed: 1}, []float64{100})
+	if !r.Stable || r.Utilization != 0.25 {
+		t.Fatalf("expected stable at 25%% utilization: %+v", r)
+	}
+	if r.MaxQueueDepth != 1 || r.WaitNS.Max != 0 {
+		t.Fatalf("fast decoder queued: depth %d, max wait %v", r.MaxQueueDepth, r.WaitNS.Max)
+	}
+	if r.SojournNS.Mean != 100 {
+		t.Fatalf("sojourn mean %v, want 100", r.SojournNS.Mean)
+	}
+}
+
+func TestSlowDecoderDiverges(t *testing.T) {
+	// Service 500 ns against 400 ns arrivals: each job adds 100 ns of lag,
+	// so the final backlog grows linearly with the job count.
+	r := Simulate(Config{ArrivalNS: 400, Jobs: 4000, Seed: 1}, []float64{500})
+	if r.Stable {
+		t.Fatal("utilization > 1 reported stable")
+	}
+	// Job j completes at 500(j+1); at the last arrival (400n) the jobs with
+	// 500(j+1) > 400n are still queued: depth = n - 0.8n = 0.2n = 800.
+	if r.FinalQueueDepth < 750 || r.FinalQueueDepth > 850 {
+		t.Fatalf("unstable queue depth %d, want ~800", r.FinalQueueDepth)
+	}
+	if r.WaitNS.Max < 300000 {
+		t.Fatalf("max wait %v ns too small for a diverging queue", r.WaitNS.Max)
+	}
+}
+
+func TestCriticalLoadQueuesButRecovers(t *testing.T) {
+	// Alternate fast and slow service around the arrival period.
+	pool := []float64{200, 500, 300, 350}
+	r := Simulate(Config{ArrivalNS: 400, Jobs: 50000, Seed: 2}, pool)
+	if !r.Stable {
+		t.Fatalf("mean 337.5 < 400 must be stable: %+v", r)
+	}
+	if r.MaxQueueDepth < 2 {
+		t.Fatal("bursty service should queue occasionally")
+	}
+	if r.FinalQueueDepth > 10 {
+		t.Fatalf("stable queue ended %d deep", r.FinalQueueDepth)
+	}
+}
+
+// TestAFSDesignPointIsStable ties the model to the paper: the measured
+// d=11 latency distribution (mean ~43 ns) against the 400 ns round leaves
+// the decoder >85% idle and never builds a backlog.
+func TestAFSDesignPointIsStable(t *testing.T) {
+	lat := microarch.CollectLatencies(microarch.CollectConfig{
+		Distance: 11, P: 1e-3, Trials: 50000, Seed: 3})
+	r := Simulate(Config{ArrivalNS: microarch.SyndromeRoundNS, Jobs: 50000, Seed: 4}, lat.ExposedNS)
+	if !r.Stable || r.Utilization > 0.15 {
+		t.Fatalf("d=11 should be far from saturation: %+v", r)
+	}
+	if r.MaxQueueDepth > 2 {
+		t.Fatalf("d=11 built a backlog: depth %d", r.MaxQueueDepth)
+	}
+}
+
+// TestD25ExceedsTheBudget documents that the paper's memory-scaling
+// distance (d=25) does NOT meet the 400 ns latency budget under the same
+// 1 ns-access model — the backlog diverges.
+func TestD25ExceedsTheBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo calibration test")
+	}
+	lat := microarch.CollectLatencies(microarch.CollectConfig{
+		Distance: 25, P: 1e-3, Trials: 10000, Seed: 5})
+	r := Simulate(Config{ArrivalNS: microarch.SyndromeRoundNS, Jobs: 10000, Seed: 6}, lat.ExposedNS)
+	if r.Stable {
+		t.Fatalf("d=25 mean latency %.0f ns should exceed the 400 ns round", r.Utilization*400)
+	}
+	if r.FinalQueueDepth < 100 {
+		t.Fatalf("expected a diverging backlog, final depth %d", r.FinalQueueDepth)
+	}
+}
+
+func TestInvalidInputsPanic(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero arrival", func() { Simulate(Config{Jobs: 1}, []float64{1}) })
+	mustPanic("empty pool", func() { Simulate(Config{ArrivalNS: 1, Jobs: 1}, nil) })
+	mustPanic("zero jobs", func() { Simulate(Config{ArrivalNS: 1}, []float64{1}) })
+}

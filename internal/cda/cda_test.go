@@ -1,0 +1,150 @@
+package cda
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"afs/internal/microarch"
+)
+
+// constPool returns a pool with one fixed stage profile, so queueing
+// behavior can be verified analytically.
+func constPool(gg, dfs, corr float64) []microarch.Breakdown {
+	return []microarch.Breakdown{{GrGen: gg, DFS: dfs, Corr: corr, Exposed: gg + dfs + corr}}
+}
+
+func TestSingleQubitBlockNoContentionOnFirstTask(t *testing.T) {
+	// One qubit, one unit of each type: the X task flows through with zero
+	// queueing; the Z task queues behind it at every stage.
+	pool := constPool(10, 20, 30)
+	r := Simulate(Config{QubitsPerBlock: 1, GrGenUnits: 1, DFSUnits: 1, CorrUnits: 1}, pool, 100, 1)
+	if len(r.CompletionNS) != 200 {
+		t.Fatalf("want 200 task completions, got %d", len(r.CompletionNS))
+	}
+	// First task: 10+20+30 = 60. Second: GG at 20, DFS waits for DFS-free
+	// at 30 -> 50, CORR waits for corr-free at 60 -> 90.
+	if r.CompletionNS[0] != 60 {
+		t.Errorf("first task completion = %v, want 60", r.CompletionNS[0])
+	}
+	if r.CompletionNS[1] != 90 {
+		t.Errorf("second task completion = %v, want 90", r.CompletionNS[1])
+	}
+}
+
+func TestPaperBlockQueueing(t *testing.T) {
+	// Paper configuration: N=2 qubits, shared tables (serialized Gr-Gen),
+	// one DFS, one CORR. With constant profiles the completions are
+	// deterministic: GG done at 10,20,30,40; DFS (one server, 20 each)
+	// done at 30,50,70,90; CORR (30 each) done at 60,90,120,150.
+	pool := constPool(10, 20, 30)
+	r := Simulate(Config{}, pool, 1, 1)
+	want := []float64{60, 90, 120, 150}
+	if !reflect.DeepEqual(r.CompletionNS, want) {
+		t.Fatalf("completions = %v, want %v", r.CompletionNS, want)
+	}
+}
+
+func TestMoreUnitsNeverSlower(t *testing.T) {
+	lat := microarch.CollectLatencies(microarch.CollectConfig{
+		Distance: 7, P: 1e-3, Trials: 20000, Seed: 5, KeepBreakdowns: true})
+	base := Simulate(Config{}, lat.Breakdowns, 20000, 3)
+	moreDFS := Simulate(Config{DFSUnits: 2, CorrUnits: 2}, lat.Breakdowns, 20000, 3)
+	if moreDFS.Summary.Mean > base.Summary.Mean+1e-9 {
+		t.Errorf("adding DFS/CORR units increased mean latency: %.2f > %.2f",
+			moreDFS.Summary.Mean, base.Summary.Mean)
+	}
+	noShare := Simulate(Config{NoSharedTables: true}, lat.Breakdowns, 20000, 3)
+	if noShare.Summary.Mean > base.Summary.Mean+1e-9 {
+		t.Errorf("unsharing tables increased mean latency: %.2f > %.2f",
+			noShare.Summary.Mean, base.Summary.Mean)
+	}
+}
+
+func TestTimeoutCounting(t *testing.T) {
+	// Profiles that always exceed the deadline must time out every task.
+	pool := constPool(200, 100, 100)
+	r := Simulate(Config{}, pool, 10, 1)
+	if r.Timeouts != uint64(len(r.CompletionNS)) {
+		t.Fatalf("timeouts = %d, want all %d", r.Timeouts, len(r.CompletionNS))
+	}
+	if r.EmpiricalTimeoutRate != 1 {
+		t.Fatalf("timeout rate = %v, want 1", r.EmpiricalTimeoutRate)
+	}
+	// And comfortable profiles must never time out.
+	fast := Simulate(Config{}, constPool(5, 5, 5), 10, 1)
+	if fast.Timeouts != 0 {
+		t.Fatalf("fast profiles timed out %d times", fast.Timeouts)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	lat := microarch.CollectLatencies(microarch.CollectConfig{
+		Distance: 5, P: 1e-3, Trials: 5000, Seed: 2, KeepBreakdowns: true})
+	a := Simulate(Config{}, lat.Breakdowns, 5000, 11)
+	b := Simulate(Config{}, lat.Breakdowns, 5000, 11)
+	if !reflect.DeepEqual(a.CompletionNS, b.CompletionNS) {
+		t.Fatal("same seed produced different traces")
+	}
+	c := Simulate(Config{}, lat.Breakdowns, 5000, 12)
+	if reflect.DeepEqual(a.CompletionNS, c.CompletionNS) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// TestFig12Shape checks the Conjoined-Decoder headline behaviour at the
+// paper's system point: contention roughly doubles the dedicated-decoder
+// latency but the distribution stays comfortably inside the 400 ns round,
+// with only a rare-event tail past the 350 ns deadline.
+func TestFig12Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo calibration test")
+	}
+	lat := microarch.CollectLatencies(microarch.CollectConfig{
+		Distance: 11, P: 1e-3, Trials: 100000, Seed: 4, KeepBreakdowns: true})
+	r := Simulate(Config{}, lat.Breakdowns, 100000, 7)
+	if r.Summary.Mean < 80 || r.Summary.Mean > 150 {
+		t.Errorf("CDA mean latency = %.1f ns, paper reports 95 ns", r.Summary.Mean)
+	}
+	if r.Summary.Median < 70 || r.Summary.Median > 140 {
+		t.Errorf("CDA median latency = %.1f ns, paper reports 85 ns", r.Summary.Median)
+	}
+	if r.Summary.P999 > DefaultTimeoutNS {
+		t.Errorf("CDA p99.9 = %.1f ns exceeds the %v ns deadline", r.Summary.P999, DefaultTimeoutNS)
+	}
+	if r.EmpiricalTimeoutRate > 1e-3 {
+		t.Errorf("timeout rate = %.2g, far above the rare-event regime", r.EmpiricalTimeoutRate)
+	}
+	if math.IsNaN(r.PTimeout) {
+		t.Error("PTimeout is NaN")
+	}
+}
+
+func TestSweepSharing(t *testing.T) {
+	lat := microarch.CollectLatencies(microarch.CollectConfig{
+		Distance: 7, P: 1e-3, Trials: 10000, Seed: 8, KeepBreakdowns: true})
+	pts := SweepSharing(PaperDesignSpace(), lat.Breakdowns, 10000, 5)
+	if len(pts) != len(PaperDesignSpace()) {
+		t.Fatalf("sweep returned %d points", len(pts))
+	}
+	// The dedicated-equivalent configuration must be the fastest; the most
+	// aggressively shared (N=4, 1 DFS) must be the slowest.
+	fastest, slowest := pts[0].Result.Summary.Mean, pts[0].Result.Summary.Mean
+	var slowestCfg Config
+	for _, p := range pts {
+		if p.Result.Summary.Mean < fastest {
+			fastest = p.Result.Summary.Mean
+		}
+		if p.Result.Summary.Mean > slowest {
+			slowest = p.Result.Summary.Mean
+			slowestCfg = p.Config
+		}
+	}
+	if pts[0].Result.Summary.Mean != fastest {
+		t.Fatalf("dedicated-equivalent (%.1f ns) is not the fastest (%.1f ns)",
+			pts[0].Result.Summary.Mean, fastest)
+	}
+	if slowestCfg.QubitsPerBlock != 4 || slowestCfg.DFSUnits != 1 {
+		t.Fatalf("slowest configuration unexpectedly %+v", slowestCfg)
+	}
+}

@@ -1,0 +1,36 @@
+package cda
+
+import "afs/internal/microarch"
+
+// SweepPoint is one evaluated decoder-block configuration.
+type SweepPoint struct {
+	Config Config
+	Result Result
+}
+
+// SweepSharing evaluates a set of block configurations over the same
+// latency pool and cycle budget — the (alpha, beta) design-space
+// exploration of paper §V-A. Configurations are evaluated with distinct
+// deterministic seeds derived from the base seed.
+func SweepSharing(configs []Config, pool []microarch.Breakdown, cycles int, seed uint64) []SweepPoint {
+	out := make([]SweepPoint, 0, len(configs))
+	for i, cfg := range configs {
+		r := Simulate(cfg, pool, cycles, seed+uint64(i)*0x9e3779b9)
+		out = append(out, SweepPoint{Config: r.Config, Result: r})
+	}
+	return out
+}
+
+// PaperDesignSpace returns the block configurations the extension study
+// evaluates: the dedicated-equivalent baseline, the paper's chosen point,
+// and its neighbors in sharing degree.
+func PaperDesignSpace() []Config {
+	return []Config{
+		{QubitsPerBlock: 1, DFSUnits: 2, CorrUnits: 2, NoSharedTables: true}, // dedicated-equivalent
+		{}, // paper point: N=2, 1 DFS, 1 CORR, shared tables
+		{DFSUnits: 2, CorrUnits: 2},
+		{NoSharedTables: true},
+		{QubitsPerBlock: 4},
+		{QubitsPerBlock: 4, DFSUnits: 2, CorrUnits: 2},
+	}
+}

@@ -1,0 +1,55 @@
+package compress
+
+// bitWriter packs bits LSB-first into a byte slice.
+type bitWriter struct {
+	buf  []byte
+	nbit int
+}
+
+func (w *bitWriter) reset() {
+	w.buf = w.buf[:0]
+	w.nbit = 0
+}
+
+// writeBits appends the low `width` bits of v (width <= 32).
+func (w *bitWriter) writeBits(v uint32, width int) {
+	for i := 0; i < width; i++ {
+		if w.nbit&7 == 0 {
+			w.buf = append(w.buf, 0)
+		}
+		if v&(1<<uint(i)) != 0 {
+			w.buf[w.nbit>>3] |= 1 << uint(w.nbit&7)
+		}
+		w.nbit++
+	}
+}
+
+func (w *bitWriter) writeBit(b bool) {
+	if b {
+		w.writeBits(1, 1)
+	} else {
+		w.writeBits(0, 1)
+	}
+}
+
+// len returns the number of bits written.
+func (w *bitWriter) len() int { return w.nbit }
+
+// bitReader reads bits LSB-first from a byte slice.
+type bitReader struct {
+	buf []byte
+	pos int
+}
+
+func (r *bitReader) readBits(width int) uint32 {
+	var v uint32
+	for i := 0; i < width; i++ {
+		if r.buf[r.pos>>3]&(1<<uint(r.pos&7)) != 0 {
+			v |= 1 << uint(i)
+		}
+		r.pos++
+	}
+	return v
+}
+
+func (r *bitReader) readBit() bool { return r.readBits(1) == 1 }

@@ -1,0 +1,70 @@
+package compress
+
+import (
+	"afs/internal/noise"
+	"afs/internal/syndrome"
+)
+
+// CorrelatedConfig drives a compression measurement under the correlated
+// Pauli model (X, Z and Y data errors plus measurement errors), the regime
+// geometry-based compression is designed for.
+type CorrelatedConfig struct {
+	Distance int
+	// PX, PZ, PY, PM are the per-round fault probabilities (Y errors flip
+	// both ancilla types in one neighborhood).
+	PX, PZ, PY, PM float64
+	// Rounds per sampled cycle; 0 selects Distance.
+	Rounds int
+	// Trials is the number of cycles.
+	Trials int
+	Seed   uint64
+	Cfg    Config
+}
+
+// RunCorrelatedExperiment measures per-scheme compression under correlated
+// noise. Unlike RunExperiment it runs single-threaded: the correlated
+// sampler carries measurement-error state across rounds, and the trial
+// counts involved are small.
+func RunCorrelatedExperiment(cfg CorrelatedConfig) ExperimentResult {
+	layout := syndrome.NewLayout(cfg.Distance)
+	comp := New(layout, cfg.Cfg)
+	rounds := cfg.Rounds
+	if rounds == 0 {
+		rounds = cfg.Distance
+	}
+	s := syndrome.NewCorrelatedSampler(layout, cfg.PX, cfg.PZ, cfg.PY, cfg.PM, cfg.Seed, 1)
+
+	var res ExperimentResult
+	res.Distance = cfg.Distance
+	res.P = cfg.PX + cfg.PZ + cfg.PY
+	var frame noise.Bitset
+	var rawBits, encBits uint64
+	var weight uint64
+	for i := 0; i < cfg.Trials; i++ {
+		s.Reset()
+		for t := 0; t < rounds; t++ {
+			s.SampleRound(&frame)
+			res.Frames++
+			weight += uint64(frame.PopCount())
+			best, bestSize := comp.Best(frame)
+			res.SchemeWins[best]++
+			res.MeanRatioHybrid += float64(comp.FrameBits()) / float64(bestSize)
+			rawBits += uint64(comp.FrameBits())
+			encBits += uint64(bestSize)
+			for sc := DZC; sc < numSchemes; sc++ {
+				res.MeanRatio[sc] += float64(comp.FrameBits()) / float64(comp.SizeScheme(sc, frame))
+			}
+		}
+	}
+	if res.Frames > 0 {
+		res.MeanRatioHybrid /= float64(res.Frames)
+		res.MeanWeight = float64(weight) / float64(res.Frames)
+		for sc := 0; sc < int(numSchemes); sc++ {
+			res.MeanRatio[sc] /= float64(res.Frames)
+		}
+	}
+	if encBits > 0 {
+		res.AggregateRatio = float64(rawBits) / float64(encBits)
+	}
+	return res
+}

@@ -1,0 +1,39 @@
+package compress
+
+import (
+	"testing"
+
+	"afs/internal/noise"
+	"afs/internal/syndrome"
+)
+
+// FuzzRoundTrip drives arbitrary frames through every scheme's
+// encode/decode pair; lossless round-tripping is the critical compression
+// invariant (a corrupted syndrome means a miscorrection downstream).
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2})
+	f.Add([]byte{255, 128, 64, 32, 16, 8, 4, 2, 1})
+	l := syndrome.NewLayout(6)
+	c := New(l, Config{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		frame := noise.NewBitset(l.CombinedBits())
+		for _, b := range raw {
+			frame.Set(int(b) % l.CombinedBits())
+		}
+		for s := DZC; s < numSchemes; s++ {
+			enc := append([]byte(nil), c.EncodeScheme(s, frame)...)
+			if got := c.EncodedBits(); got != c.SizeScheme(s, frame) {
+				t.Fatalf("scheme %v: size model %d != encoded %d bits",
+					s, c.SizeScheme(s, frame), got)
+			}
+			var out noise.Bitset
+			if err := c.Decode(enc, &out); err != nil {
+				t.Fatalf("scheme %v: %v", s, err)
+			}
+			if !framesEqual(frame, out) {
+				t.Fatalf("scheme %v: roundtrip mismatch", s)
+			}
+		}
+	})
+}

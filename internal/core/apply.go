@@ -1,0 +1,58 @@
+package core
+
+import (
+	"afs/internal/lattice"
+	"afs/internal/noise"
+)
+
+// ApplyToData folds a correction (edge indices) into a per-data-qubit mask:
+// each spatial edge toggles its data qubit; temporal edges identify
+// measurement errors and touch no data qubit. Spatial corrections from
+// different rounds of the 3-D graph land on the same physical qubit, so the
+// mask accumulates their XOR, which is exactly the Pauli frame update the
+// CORR Engine emits.
+func ApplyToData(g *lattice.Graph, correction []int32, mask *noise.Bitset) {
+	mask.Resize(g.NumDataQubits())
+	for _, e := range correction {
+		ed := &g.Edges[e]
+		if ed.Kind == lattice.Spatial {
+			mask.Flip(int(ed.Qubit))
+		}
+	}
+}
+
+// SyndromeOf computes the detection events a set of edges would produce:
+// the vertices incident to an odd number of the given edges. It is the
+// verification inverse of Decode — a valid correction satisfies
+// SyndromeOf(correction) == defects.
+func SyndromeOf(g *lattice.Graph, edges []int32) []int32 {
+	marks := make(map[int32]bool, 2*len(edges))
+	for _, e := range edges {
+		ed := &g.Edges[e]
+		for _, v := range [2]int32{ed.U, ed.V} {
+			if !g.IsBoundary(v) {
+				marks[v] = !marks[v]
+			}
+		}
+	}
+	var out []int32
+	for v, odd := range marks {
+		if odd {
+			out = append(out, v)
+		}
+	}
+	sortInt32(out)
+	return out
+}
+
+func sortInt32(a []int32) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}

@@ -1,0 +1,449 @@
+// Package core implements the paper's primary contribution: the Union-Find
+// decoder for surface codes [Delfosse & Nickerson, arXiv:1709.06218;
+// Delfosse & Zémor, arXiv:1703.01517], structured as the three steps that
+// become the AFS pipeline stages (paper §IV):
+//
+//  1. Cluster Growth (the Gr-Gen stage): clusters are grown by half an edge
+//     at a time around the non-trivial detection events until every cluster
+//     covers an even number of them or touches a code boundary.
+//  2. Spanning-Forest Generation (the DFS Engine): a spanning tree is built
+//     over each cluster with an explicit-stack depth-first search.
+//  3. Peeling (the CORR Engine): each spanning tree is traversed in reverse,
+//     emitting the correction edges that reproduce the measured syndrome.
+//
+// The decoder works unchanged on 2-dimensional graphs (perfect
+// measurements) and on the 3-dimensional graphs used to tolerate
+// measurement errors, because both are just lattice.Graphs with boundaries.
+//
+// The implementation deliberately exposes the quantities the hardware model
+// needs — per-cluster growth steps and sizes, stack high-water marks, and
+// memory-access counts — so that internal/microarch can charge latency to
+// the same events the paper's Equations (2) and (3) count.
+package core
+
+import (
+	"fmt"
+
+	"afs/internal/lattice"
+	"afs/internal/unionfind"
+)
+
+// Options configure decoder variants for the ablation studies in DESIGN.md.
+// The zero value selects the full AFS configuration.
+type Options struct {
+	// DisableWeightedUnion turns off union by size (the Size Table).
+	DisableWeightedUnion bool
+	// DisablePathCompression turns off path compression (the tree-traversal
+	// registers).
+	DisablePathCompression bool
+}
+
+// ClusterStat describes one peeled cluster; the micro-architecture latency
+// model consumes these (paper Eqs. 2-3).
+type ClusterStat struct {
+	// Vertices is |V(C_i)|, the number of real vertices in the cluster.
+	Vertices int
+	// GrowthSteps is the number of half-edge growth rounds the cluster
+	// participated in while odd (the paper's diam(C_i) proxy: a cluster
+	// grown for k rounds has radius k half-edges).
+	GrowthSteps int
+	// Defects is the number of non-trivial detection events it covers.
+	Defects int
+	// TouchesBoundary reports whether the cluster reached a code boundary.
+	TouchesBoundary bool
+}
+
+// DecodeStats captures the per-syndrome execution profile of one decode.
+type DecodeStats struct {
+	NumDefects      int
+	GrowthRounds    int // global growth iterations until no odd cluster remains
+	SupportEdges    int // edges fully grown (the erasure handed to peeling)
+	Clusters        []ClusterStat
+	CorrectionEdges int
+	// MaxRuntimeStack and MaxEdgeStack are the high-water marks of the DFS
+	// Engine's runtime stack and edge stack, used to validate the storage
+	// provisioning in internal/storage.
+	MaxRuntimeStack int
+	MaxEdgeStack    int
+	// RootTableAccesses and SizeTableAccesses count Union-Find memory
+	// operations (reads+writes) during Gr-Gen.
+	RootTableAccesses uint64
+	SizeTableAccesses uint64
+	// GrowthIncrements counts STM edge-field updates (half-edge growth
+	// writes) and GrowthVisits counts boundary-list vertex visits during
+	// Gr-Gen; together they approximate the stage's STM traffic.
+	GrowthIncrements uint64
+	GrowthVisits     uint64
+	// TouchedRows is the number of distinct 32-bit STM vertex rows holding
+	// cluster state after this decode — exactly the rows whose Zero Data
+	// Register bit is set, i.e. the rows the ZDR lets the DFS Engine visit
+	// instead of scanning the whole memory.
+	TouchedRows int
+}
+
+// Decoder is a reusable Union-Find decoder bound to one decoding graph.
+// A Decoder is not safe for concurrent use; Monte-Carlo workers each own
+// one, exactly as every logical qubit owns decoding hardware.
+type Decoder struct {
+	G    *lattice.Graph
+	Opts Options
+
+	uf     *unionfind.Forest
+	growth []uint8 // 0, 1 (half-grown) or 2 (in the support)
+	defect []bool  // per real vertex
+	parOdd []bool  // per root: odd number of defects
+	hasB   []bool  // per root: cluster contains a boundary vertex
+	steps  []int32 // per root: growth rounds participated in
+	nDef   []int32 // per root: number of defects covered
+
+	// Per-cluster vertex lists ("boundary lists" in UF terminology): a
+	// singly-linked list per root of vertices that may still have
+	// non-fully-grown incident edges.
+	listHead, listTail, listNext []int32
+
+	active  []int32 // roots of odd, non-boundary clusters
+	merged  []int32 // edges fully grown during the current sweep
+	stamp   []int32 // deduplication stamps for active-list rebuild
+	stampID int32
+
+	rowStamp []int32 // per 32-vertex STM row: ZDR occupancy stamps
+	rowEpoch int32
+
+	// Peeling state.
+	visited                         []bool
+	visitLog                        []int32
+	treeChild, treeParent, treeEdge []int32 // spanning-forest edges in DFS order
+	runtime                         []dfsFrame
+
+	correction []int32 // edge indices, reused across decodes
+	Stats      DecodeStats
+}
+
+type dfsFrame struct {
+	vertex     int32
+	parentEdge int32
+}
+
+const nilList = int32(-1)
+
+// NewDecoder builds a decoder for g with the given options.
+func NewDecoder(g *lattice.Graph, opts Options) *Decoder {
+	n := g.V + 1 // real vertices plus the virtual boundary vertex
+	d := &Decoder{
+		G:        g,
+		Opts:     opts,
+		uf:       unionfind.New(n),
+		growth:   make([]uint8, len(g.Edges)),
+		defect:   make([]bool, g.V),
+		parOdd:   make([]bool, n),
+		hasB:     make([]bool, n),
+		steps:    make([]int32, n),
+		nDef:     make([]int32, n),
+		listHead: make([]int32, n),
+		listTail: make([]int32, n),
+		listNext: make([]int32, n),
+		stamp:    make([]int32, n),
+		rowStamp: make([]int32, (g.V+31)/32),
+		visited:  make([]bool, n),
+	}
+	return d
+}
+
+// Decode processes one syndrome (the sorted list of vertices with
+// non-trivial detection events) and returns the correction as a list of
+// edge indices into G.Edges. The returned slice is reused by the next call.
+func (d *Decoder) Decode(defects []int32) []int32 {
+	d.reset(defects)
+	if len(defects) > 0 {
+		d.growClusters()
+		d.peel(defects)
+	}
+	d.Stats.NumDefects = len(defects)
+	d.Stats.CorrectionEdges = len(d.correction)
+	d.Stats.RootTableAccesses = d.uf.RootReads + d.uf.RootWrites
+	d.Stats.SizeTableAccesses = d.uf.SizeReads + d.uf.SizeWrites
+	return d.correction
+}
+
+func (d *Decoder) reset(defects []int32) {
+	d.Stats = DecodeStats{Clusters: d.Stats.Clusters[:0]}
+	d.uf.Reset()
+	for i := range d.growth {
+		d.growth[i] = 0
+	}
+	n := d.G.V + 1
+	for i := 0; i < n; i++ {
+		d.parOdd[i] = false
+		d.hasB[i] = false
+		d.steps[i] = 0
+		d.nDef[i] = 0
+		d.listHead[i] = int32(i)
+		d.listTail[i] = int32(i)
+		d.listNext[i] = nilList
+	}
+	b := d.G.Boundary()
+	d.hasB[b] = true
+	d.rowEpoch++
+	for _, v := range defects {
+		d.defect[v] = true
+		d.parOdd[v] = true
+		d.nDef[v] = 1
+		d.touchRow(v)
+	}
+	d.active = d.active[:0]
+	for _, v := range defects {
+		d.active = append(d.active, v)
+	}
+	d.correction = d.correction[:0]
+}
+
+func (d *Decoder) find(v int32) int32 {
+	if d.Opts.DisablePathCompression {
+		return d.uf.FindNoCompress(v)
+	}
+	return d.uf.Find(v)
+}
+
+func (d *Decoder) unionRoots(ra, rb int32) int32 {
+	var rn int32
+	if d.Opts.DisableWeightedUnion {
+		rn = d.uf.UnionRootsUnweighted(ra, rb)
+	} else {
+		rn = d.uf.UnionRoots(ra, rb)
+	}
+	rd := ra
+	if rd == rn {
+		rd = rb
+	}
+	// Fold the dead root's cluster attributes into the survivor.
+	d.parOdd[rn] = d.parOdd[rn] != d.parOdd[rd]
+	d.hasB[rn] = d.hasB[rn] || d.hasB[rd]
+	if d.steps[rd] > d.steps[rn] {
+		d.steps[rn] = d.steps[rd]
+	}
+	d.nDef[rn] += d.nDef[rd]
+	// Concatenate vertex lists in O(1).
+	d.listNext[d.listTail[rn]] = d.listHead[rd]
+	d.listTail[rn] = d.listTail[rd]
+	return rn
+}
+
+// growClusters runs the Gr-Gen step: repeated half-edge growth of every
+// odd cluster until all clusters are even or boundary-attached.
+func (d *Decoder) growClusters() {
+	for len(d.active) > 0 {
+		d.Stats.GrowthRounds++
+		d.merged = d.merged[:0]
+		for _, r := range d.active {
+			d.growOne(r)
+		}
+		for _, e := range d.merged {
+			ed := &d.G.Edges[e]
+			ru, rv := d.find(ed.U), d.find(ed.V)
+			if ru != rv {
+				d.unionRoots(ru, rv)
+			}
+		}
+		d.rebuildActive()
+	}
+}
+
+// growOne grows cluster r (a current root) by half an edge around every
+// vertex on its boundary list, unlinking vertices that have become
+// interior.
+func (d *Decoder) growOne(r int32) {
+	d.steps[r]++
+	prev := nilList
+	v := d.listHead[r]
+	for v != nilList {
+		nxt := d.listNext[v]
+		d.Stats.GrowthVisits++
+		if v != int32(d.G.V) { // cluster vertices light their ZDR row
+			d.touchRow(v)
+		}
+		grewAny := false
+		allFull := true
+		for _, e := range d.G.AdjacentEdges(v) {
+			switch d.growth[e] {
+			case 2:
+				continue
+			case 1:
+				d.growth[e] = 2
+				d.merged = append(d.merged, e)
+				d.Stats.GrowthIncrements++
+				grewAny = true
+			case 0:
+				d.growth[e] = 1
+				d.Stats.GrowthIncrements++
+				grewAny = true
+				allFull = false
+			}
+		}
+		if !grewAny && allFull {
+			// Interior vertex: unlink so later sweeps skip it.
+			if prev == nilList {
+				d.listHead[r] = nxt
+			} else {
+				d.listNext[prev] = nxt
+			}
+			if nxt == nilList {
+				d.listTail[r] = prev
+				if prev == nilList {
+					// List emptied; keep the root itself as a sentinel so
+					// concatenation during a later merge stays valid.
+					d.listHead[r] = r
+					d.listTail[r] = r
+					d.listNext[r] = nilList
+				}
+			}
+		} else {
+			prev = v
+		}
+		v = nxt
+	}
+}
+
+// touchRow marks vertex v's 32-bit STM row occupied (the Zero Data
+// Register bit the DFS Engine consults) and counts first touches.
+func (d *Decoder) touchRow(v int32) {
+	row := v >> 5
+	if d.rowStamp[row] != d.rowEpoch {
+		d.rowStamp[row] = d.rowEpoch
+		d.Stats.TouchedRows++
+	}
+}
+
+// rebuildActive re-derives the odd-cluster worklist after a growth sweep.
+func (d *Decoder) rebuildActive() {
+	d.stampID++
+	out := d.active[:0]
+	for _, r := range d.active {
+		rr := d.find(r)
+		if d.stamp[rr] == d.stampID {
+			continue
+		}
+		d.stamp[rr] = d.stampID
+		if d.parOdd[rr] && !d.hasB[rr] {
+			out = append(out, rr)
+		}
+	}
+	d.active = out
+}
+
+// peel runs the DFS Engine and CORR Engine steps: it builds a spanning tree
+// over every support component containing defects (rooting boundary-attached
+// components at the boundary) and peels it leaf-first, emitting correction
+// edges. After peeling, every defect mark has been cleared.
+func (d *Decoder) peel(defects []int32) {
+	d.visitLog = d.visitLog[:0]
+	b := d.G.Boundary()
+
+	// Boundary-attached components first, each boundary subtree counted as
+	// its own cluster (physically distinct clusters share only the virtual
+	// boundary vertex).
+	d.visited[b] = true
+	d.visitLog = append(d.visitLog, b)
+	for _, e := range d.G.AdjacentEdges(b) {
+		if d.growth[e] != 2 {
+			continue
+		}
+		u := d.G.Other(e, b)
+		if d.visited[u] {
+			continue
+		}
+		d.peelTree(u, e, true)
+	}
+	// Interior components, rooted at a defect each.
+	for _, v := range defects {
+		if !d.visited[v] {
+			d.peelTree(v, -1, false)
+		}
+	}
+	for _, v := range d.visitLog {
+		d.visited[v] = false
+	}
+}
+
+// peelTree explores one spanning tree rooted at `root` (whose edge to the
+// boundary, if any, is rootEdge) and peels it.
+func (d *Decoder) peelTree(root int32, rootEdge int32, boundary bool) {
+	d.treeChild = d.treeChild[:0]
+	d.treeParent = d.treeParent[:0]
+	d.treeEdge = d.treeEdge[:0]
+	d.runtime = d.runtime[:0]
+
+	b := d.G.Boundary()
+	d.visited[root] = true
+	d.visitLog = append(d.visitLog, root)
+	vertices := 1
+	origDefects := 0
+	if d.defect[root] {
+		origDefects++
+	}
+	d.runtime = append(d.runtime, dfsFrame{vertex: root, parentEdge: rootEdge})
+	maxRT := 1
+	for len(d.runtime) > 0 {
+		fr := d.runtime[len(d.runtime)-1]
+		d.runtime = d.runtime[:len(d.runtime)-1]
+		v := fr.vertex
+		for _, e := range d.G.AdjacentEdges(v) {
+			if d.growth[e] != 2 || e == fr.parentEdge {
+				continue
+			}
+			u := d.G.Other(e, v)
+			if u == b || d.visited[u] {
+				continue
+			}
+			d.visited[u] = true
+			d.visitLog = append(d.visitLog, u)
+			vertices++
+			if d.defect[u] {
+				origDefects++
+			}
+			d.treeChild = append(d.treeChild, u)
+			d.treeParent = append(d.treeParent, v)
+			d.treeEdge = append(d.treeEdge, e)
+			d.runtime = append(d.runtime, dfsFrame{vertex: u, parentEdge: e})
+			if len(d.runtime) > maxRT {
+				maxRT = len(d.runtime)
+			}
+		}
+	}
+
+	// CORR: reverse traversal of the tree-edge stack. A defect on the child
+	// side selects the edge into the correction and flips the parent's
+	// defect state; defects reaching a boundary-rooted tree's root are
+	// flushed through the root edge into the boundary.
+	for i := len(d.treeEdge) - 1; i >= 0; i-- {
+		child, parent, e := d.treeChild[i], d.treeParent[i], d.treeEdge[i]
+		if d.defect[child] {
+			d.defect[child] = false
+			d.correction = append(d.correction, e)
+			d.defect[parent] = !d.defect[parent]
+		}
+	}
+	if d.defect[root] {
+		d.defect[root] = false
+		if boundary {
+			d.correction = append(d.correction, rootEdge)
+		} else {
+			// An interior tree must cover an even number of defects; an odd
+			// leftover indicates a broken growth invariant.
+			panic(fmt.Sprintf("core: interior cluster at vertex %d left an unmatched defect", root))
+		}
+	}
+
+	d.Stats.Clusters = append(d.Stats.Clusters, ClusterStat{
+		Vertices:        vertices,
+		GrowthSteps:     int(d.steps[d.find(root)]),
+		Defects:         origDefects,
+		TouchesBoundary: boundary,
+	})
+	if maxRT > d.Stats.MaxRuntimeStack {
+		d.Stats.MaxRuntimeStack = maxRT
+	}
+	if len(d.treeEdge) > d.Stats.MaxEdgeStack {
+		d.Stats.MaxEdgeStack = len(d.treeEdge)
+	}
+	d.Stats.SupportEdges += len(d.treeEdge)
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"afs/internal/lattice"
+	"afs/internal/noise"
+)
+
+// syndromeMatches checks the defining property of a valid correction: it
+// reproduces exactly the measured defects.
+func syndromeMatches(t *testing.T, g *lattice.Graph, defects, correction []int32) {
+	t.Helper()
+	got := SyndromeOf(g, correction)
+	want := append([]int32(nil), defects...)
+	if len(got) == 0 && len(want) == 0 {
+		return
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("correction syndrome mismatch:\n got  %v\n want %v\n correction %v", got, want, correction)
+	}
+}
+
+func TestDecodeEmptySyndrome(t *testing.T) {
+	g := lattice.New2D(5)
+	d := NewDecoder(g, Options{})
+	if corr := d.Decode(nil); len(corr) != 0 {
+		t.Fatalf("empty syndrome produced correction %v", corr)
+	}
+	if d.Stats.NumDefects != 0 || len(d.Stats.Clusters) != 0 {
+		t.Fatalf("unexpected stats for empty syndrome: %+v", d.Stats)
+	}
+}
+
+func TestDecodeSingleDataError2D(t *testing.T) {
+	for _, dist := range []int{3, 5, 7} {
+		g := lattice.New2D(dist)
+		dec := NewDecoder(g, Options{})
+		// Every single data-qubit error must be corrected exactly: residual
+		// (error XOR correction) must be trivial on the north cut.
+		for q := 0; q < g.NumDataQubits(); q++ {
+			e := g.SpatialEdge(int32(q), 0)
+			defects := SyndromeOf(g, []int32{e})
+			corr := dec.Decode(defects)
+			syndromeMatches(t, g, defects, corr)
+
+			var residual noise.Bitset
+			ApplyToData(g, corr, &residual)
+			residual.Flip(q)
+			if residual.Parity(g.NorthCutQubits()) {
+				t.Fatalf("d=%d: single error on qubit %d caused a logical error", dist, q)
+			}
+		}
+	}
+}
+
+func TestDecodeSingleMeasurementError3D(t *testing.T) {
+	g := lattice.New3D(5, 5)
+	dec := NewDecoder(g, Options{})
+	// A lone measurement error produces two time-adjacent defects; the
+	// decoder must fix it without touching any data qubit.
+	for tt := 0; tt < g.Rounds-1; tt++ {
+		e := g.TemporalEdge(1, 2, tt)
+		defects := SyndromeOf(g, []int32{e})
+		if len(defects) != 2 {
+			t.Fatalf("temporal edge produced %d defects, want 2", len(defects))
+		}
+		corr := dec.Decode(defects)
+		syndromeMatches(t, g, defects, corr)
+		var mask noise.Bitset
+		ApplyToData(g, corr, &mask)
+		if mask.PopCount() != 0 {
+			t.Fatalf("measurement-error correction touched data qubits: %v", corr)
+		}
+	}
+}
+
+func TestDecodeAllWeightTwoErrors2D(t *testing.T) {
+	g := lattice.New2D(5)
+	dec := NewDecoder(g, Options{})
+	n := g.NumDataQubits()
+	for q1 := 0; q1 < n; q1++ {
+		for q2 := q1 + 1; q2 < n; q2++ {
+			e1, e2 := g.SpatialEdge(int32(q1), 0), g.SpatialEdge(int32(q2), 0)
+			defects := SyndromeOf(g, []int32{e1, e2})
+			corr := dec.Decode(defects)
+			syndromeMatches(t, g, defects, corr)
+			// Any weight-2 error on a distance-5 code must be corrected
+			// (UF corrects up to floor((d-1)/2) = 2 errors).
+			var residual noise.Bitset
+			ApplyToData(g, corr, &residual)
+			residual.Flip(q1)
+			residual.Flip(q2)
+			if residual.Parity(g.NorthCutQubits()) {
+				t.Fatalf("weight-2 error (%d,%d) caused a logical error", q1, q2)
+			}
+		}
+	}
+}
+
+func TestDecodeRandomErrors3D(t *testing.T) {
+	g := lattice.New3D(7, 7)
+	dec := NewDecoder(g, Options{})
+	s := noise.NewSampler(g, 0.02, 42, 7)
+	var trial noise.Trial
+	for i := 0; i < 2000; i++ {
+		s.Sample(&trial)
+		corr := dec.Decode(trial.Defects)
+		syndromeMatches(t, g, trial.Defects, corr)
+	}
+	if s.MeanFaults() == 0 {
+		t.Fatal("sampler produced no faults at p=0.02")
+	}
+}
+
+// TestDecodeArbitraryDefectSets is the central invariant, checked as a
+// property: for ANY set of defects (not only ones produced by a physical
+// error), the decoder terminates and its correction reproduces the
+// syndrome exactly.
+func TestDecodeArbitraryDefectSets(t *testing.T) {
+	g := lattice.New3D(5, 5)
+	dec := NewDecoder(g, Options{})
+	f := func(seed uint64, kRaw uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		k := int(kRaw) % (g.V / 2)
+		seen := make(map[int32]bool, k)
+		var defects []int32
+		for len(defects) < k {
+			v := int32(rng.IntN(g.V))
+			if !seen[v] {
+				seen[v] = true
+				defects = append(defects, v)
+			}
+		}
+		sortInt32(defects)
+		corr := dec.Decode(defects)
+		got := SyndromeOf(g, corr)
+		return reflect.DeepEqual(got, defects) || (len(got) == 0 && len(defects) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeStatsSanity(t *testing.T) {
+	g := lattice.New3D(5, 5)
+	dec := NewDecoder(g, Options{})
+	// Two adjacent defects from one data error: a single cluster with two
+	// defects and one growth round.
+	e := g.SpatialEdge(g.HorizontalQubit(1, 1), 2)
+	defects := SyndromeOf(g, []int32{e})
+	dec.Decode(defects)
+	st := dec.Stats
+	if st.NumDefects != 2 {
+		t.Fatalf("NumDefects = %d, want 2", st.NumDefects)
+	}
+	if len(st.Clusters) != 1 {
+		t.Fatalf("clusters = %d, want 1", len(st.Clusters))
+	}
+	c := st.Clusters[0]
+	if c.Defects != 2 || c.Vertices != 2 || c.TouchesBoundary {
+		t.Fatalf("unexpected cluster stat: %+v", c)
+	}
+	if st.GrowthRounds != 1 {
+		t.Fatalf("GrowthRounds = %d, want 1", st.GrowthRounds)
+	}
+	if st.CorrectionEdges != 1 {
+		t.Fatalf("CorrectionEdges = %d, want 1", st.CorrectionEdges)
+	}
+}
+
+func TestDecodeNearBoundary(t *testing.T) {
+	g := lattice.New2D(5)
+	dec := NewDecoder(g, Options{})
+	// A single defect adjacent to the north boundary must be matched to
+	// the boundary, not across the lattice.
+	defects := []int32{g.VertexID(0, 2, 0)}
+	corr := dec.Decode(defects)
+	syndromeMatches(t, g, defects, corr)
+	if len(corr) != 1 {
+		t.Fatalf("boundary defect corrected with %d edges, want 1", len(corr))
+	}
+	ed := g.Edges[corr[0]]
+	if !g.IsBoundary(ed.U) && !g.IsBoundary(ed.V) {
+		t.Fatalf("correction edge %+v does not touch the boundary", ed)
+	}
+	if len(dec.Stats.Clusters) != 1 || !dec.Stats.Clusters[0].TouchesBoundary {
+		t.Fatalf("cluster stats should record a boundary cluster: %+v", dec.Stats.Clusters)
+	}
+}
+
+func TestDecoderAblationVariantsAgreeOnSyndrome(t *testing.T) {
+	g := lattice.New3D(5, 5)
+	variants := []Options{
+		{},
+		{DisableWeightedUnion: true},
+		{DisablePathCompression: true},
+		{DisableWeightedUnion: true, DisablePathCompression: true},
+	}
+	decs := make([]*Decoder, len(variants))
+	for i, o := range variants {
+		decs[i] = NewDecoder(g, o)
+	}
+	s := noise.NewSampler(g, 0.01, 5, 11)
+	var trial noise.Trial
+	for i := 0; i < 500; i++ {
+		s.Sample(&trial)
+		for vi, dec := range decs {
+			corr := dec.Decode(trial.Defects)
+			got := SyndromeOf(g, corr)
+			want := trial.Defects
+			if !(len(got) == 0 && len(want) == 0) && !reflect.DeepEqual(got, want) {
+				t.Fatalf("variant %d (%+v) produced invalid correction", vi, variants[vi])
+			}
+		}
+	}
+}
+
+func TestDecoderReuseIsDeterministic(t *testing.T) {
+	g := lattice.New3D(5, 5)
+	defects := SyndromeOf(g, []int32{
+		g.SpatialEdge(g.HorizontalQubit(0, 0), 1),
+		g.TemporalEdge(2, 3, 2),
+		g.SpatialEdge(g.VerticalQubit(2, 2), 3),
+	})
+	dec := NewDecoder(g, Options{})
+	first := append([]int32(nil), dec.Decode(defects)...)
+	for i := 0; i < 10; i++ {
+		got := dec.Decode(defects)
+		if !reflect.DeepEqual(first, got) {
+			t.Fatalf("decode %d differs: %v vs %v", i, got, first)
+		}
+	}
+	// A fresh decoder must agree with a reused one.
+	fresh := NewDecoder(g, Options{}).Decode(defects)
+	if !reflect.DeepEqual(first, fresh) {
+		t.Fatalf("fresh decoder disagrees: %v vs %v", fresh, first)
+	}
+}
+
+func BenchmarkDecode3D(b *testing.B) {
+	for _, cfg := range []struct {
+		d int
+		p float64
+	}{{11, 1e-3}, {17, 1e-3}, {25, 1e-3}} {
+		g := lattice.New3D(cfg.d, cfg.d)
+		dec := NewDecoder(g, Options{})
+		s := noise.NewSampler(g, cfg.p, 1, 2)
+		var trial noise.Trial
+		b.Run(benchName(cfg.d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s.Sample(&trial)
+				dec.Decode(trial.Defects)
+			}
+		})
+	}
+}
+
+func benchName(d int) string {
+	return "d=" + string(rune('0'+d/10)) + string(rune('0'+d%10))
+}

@@ -1,0 +1,149 @@
+package hierarchical
+
+import (
+	"reflect"
+	"testing"
+
+	"afs/internal/core"
+	"afs/internal/lattice"
+	"afs/internal/montecarlo"
+	"afs/internal/noise"
+)
+
+func newUF(g *lattice.Graph) *core.Decoder { return core.NewDecoder(g, core.Options{}) }
+
+func TestSingleFaultSyndromesAreOffloaded(t *testing.T) {
+	g := lattice.New3D(5, 5)
+	dec := New(g, newUF(g))
+	for e := int32(0); e < int32(len(g.Edges)); e++ {
+		defects := core.SyndromeOf(g, []int32{e})
+		corr := dec.Decode(defects)
+		if len(defects) > 0 && len(corr) != 1 {
+			t.Fatalf("single fault %d decoded with %d edges", e, len(corr))
+		}
+		got := core.SyndromeOf(g, corr)
+		if len(got) == 0 && len(defects) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, defects) {
+			t.Fatalf("single fault %d: invalid local correction", e)
+		}
+	}
+	if dec.Stats.FellBack != 0 {
+		t.Fatalf("single-fault syndromes fell back %d times", dec.Stats.FellBack)
+	}
+}
+
+func TestHardSyndromesFallBack(t *testing.T) {
+	g := lattice.New2D(7)
+	dec := New(g, newUF(g))
+	// Three defects in a row: the middle one has two defect neighbors.
+	defects := []int32{g.VertexID(2, 2, 0), g.VertexID(2, 3, 0), g.VertexID(2, 4, 0)}
+	corr := dec.Decode(defects)
+	if dec.Stats.FellBack != 1 {
+		t.Fatalf("chain syndrome should fall back: %+v", dec.Stats)
+	}
+	if !reflect.DeepEqual(core.SyndromeOf(g, corr), defects) {
+		t.Fatal("fallback correction invalid")
+	}
+	// A lone defect in the bulk (its partner's event was lost to a
+	// measurement error two rounds away) is also hard.
+	g3 := lattice.New3D(7, 7)
+	dec3 := New(g3, newUF(g3))
+	lone := []int32{g3.VertexID(3, 3, 3)}
+	corr3 := dec3.Decode(lone)
+	if dec3.Stats.FellBack != 1 {
+		t.Fatal("isolated bulk defect should fall back")
+	}
+	if !reflect.DeepEqual(core.SyndromeOf(g3, corr3), lone) {
+		t.Fatal("fallback correction invalid for lone defect")
+	}
+}
+
+func TestAlwaysValidOnRandomSyndromes(t *testing.T) {
+	g := lattice.New3D(5, 5)
+	dec := New(g, newUF(g))
+	s := noise.NewSampler(g, 0.02, 9, 9)
+	var trial noise.Trial
+	for i := 0; i < 2000; i++ {
+		s.Sample(&trial)
+		corr := dec.Decode(trial.Defects)
+		got := core.SyndromeOf(g, corr)
+		if len(got) == 0 && len(trial.Defects) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, trial.Defects) {
+			t.Fatalf("invalid correction (offloaded=%v)", dec.Stats.FellBack == 0)
+		}
+	}
+	if dec.Stats.Offloaded == 0 || dec.Stats.FellBack == 0 {
+		t.Fatalf("expected both paths exercised: %+v", dec.Stats)
+	}
+}
+
+// TestOffloadEconomics: at the paper's design point most syndromes must be
+// absorbed by the first stage — that is the premise of hierarchical
+// decoding.
+func TestOffloadEconomics(t *testing.T) {
+	g := lattice.New3D(11, 11)
+	dec := New(g, newUF(g))
+	s := noise.NewSampler(g, 1e-3, 13, 13)
+	var trial noise.Trial
+	for i := 0; i < 20000; i++ {
+		s.Sample(&trial)
+		dec.Decode(trial.Defects)
+	}
+	frac := dec.Stats.OffloadFraction()
+	if frac < 0.5 {
+		t.Fatalf("offload fraction %.2f too low at d=11, p=1e-3", frac)
+	}
+	t.Logf("offload fraction at d=11, p=1e-3: %.3f", frac)
+}
+
+// TestAccuracyMatchesPureUF: routing through the hierarchy must not change
+// the logical error rate materially (first-stage decisions are exact
+// minimum-weight on the syndromes it accepts).
+func TestAccuracyMatchesPureUF(t *testing.T) {
+	pure := montecarlo.RunAccuracy(montecarlo.AccuracyConfig{
+		Distance: 5, P: 0.015, Trials: 60000, Seed: 17, Workers: 1,
+		New: func(g *lattice.Graph) montecarlo.Decoder { return newUF(g) },
+	})
+	hier := montecarlo.RunAccuracy(montecarlo.AccuracyConfig{
+		Distance: 5, P: 0.015, Trials: 60000, Seed: 17, Workers: 1,
+		New: func(g *lattice.Graph) montecarlo.Decoder { return New(g, newUF(g)) },
+	})
+	if pure.Failures == 0 {
+		t.Fatal("no failures at p=0.015, d=5")
+	}
+	lo, hi := float64(pure.Failures)*0.7, float64(pure.Failures)*1.3
+	if f := float64(hier.Failures); f < lo || f > hi {
+		t.Fatalf("hierarchical LER diverged: %d vs pure %d failures", hier.Failures, pure.Failures)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	g := lattice.New2D(5)
+	dec := New(g, newUF(g))
+	dec.Decode(nil)
+	if dec.Stats.Total != 1 || dec.Stats.Offloaded != 1 {
+		t.Fatalf("empty syndrome stats wrong: %+v", dec.Stats)
+	}
+	if got := dec.Stats.OffloadFraction(); got != 1 {
+		t.Fatalf("offload fraction = %v", got)
+	}
+	if (Stats{}).OffloadFraction() != 0 {
+		t.Fatal("zero stats fraction should be 0")
+	}
+}
+
+func BenchmarkDecodeHierarchical(b *testing.B) {
+	g := lattice.New3DWindow(11, 11)
+	dec := New(g, newUF(g))
+	s := noise.NewSampler(g, 1e-3, 1, 1)
+	var trial noise.Trial
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sample(&trial)
+		dec.Decode(trial.Defects)
+	}
+}

@@ -1,0 +1,238 @@
+package lut
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"afs/internal/core"
+	"afs/internal/lattice"
+	"afs/internal/mwpm"
+	"afs/internal/noise"
+)
+
+func TestTableDimensions(t *testing.T) {
+	g := lattice.New2D(3)
+	d, err := New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TableEntries() != 64 { // 2^(3*2)
+		t.Fatalf("d=3 table entries = %d, want 64", d.TableEntries())
+	}
+	if d.TableBytes() <= 0 {
+		t.Fatalf("table bytes = %d", d.TableBytes())
+	}
+}
+
+func TestRejectsLargeGraphs(t *testing.T) {
+	if _, err := New(lattice.New2D(7)); err == nil {
+		t.Fatal("d=7 (42 syndrome bits) accepted — the scalability wall should reject it")
+	}
+	if _, err := New(lattice.New3D(5, 5)); err == nil {
+		t.Fatal("d=5 cycle (100 syndrome bits) accepted")
+	}
+}
+
+// TestThreeDimensionalD3: the full distance-3 logical cycle fits in an
+// 18-bit table — the regime real-time LUT experiments (Lilliput) target.
+// Every syndrome must decode validly, and single faults of either kind
+// (data or measurement) must be corrected without logical error.
+func TestThreeDimensionalD3(t *testing.T) {
+	g := lattice.New3D(3, 3)
+	dec, err := New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.TableEntries() != 1<<18 {
+		t.Fatalf("table entries = %d, want 2^18", dec.TableEntries())
+	}
+	cut := g.NorthCutQubits()
+	for e := int32(0); e < int32(len(g.Edges)); e++ {
+		defects := core.SyndromeOf(g, []int32{e})
+		corr := dec.Decode(defects)
+		if !reflect.DeepEqual(core.SyndromeOf(g, corr), defects) {
+			t.Fatalf("3-D fault %d: invalid correction", e)
+		}
+		residual := noise.NewBitset(g.NumDataQubits())
+		for _, f := range append(corr, e) {
+			if g.Edges[f].Kind == lattice.Spatial {
+				residual.Flip(int(g.Edges[f].Qubit))
+			}
+		}
+		if residual.Parity(cut) {
+			t.Fatalf("3-D single fault %d caused a logical error", e)
+		}
+	}
+	// Random syndromes decode validly.
+	s := noise.NewSampler(g, 0.05, 3, 9)
+	var trial noise.Trial
+	for i := 0; i < 500; i++ {
+		s.Sample(&trial)
+		corr := dec.Decode(trial.Defects)
+		got := core.SyndromeOf(g, corr)
+		if len(got) == 0 && len(trial.Defects) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, trial.Defects) {
+			t.Fatal("3-D random syndrome: invalid correction")
+		}
+	}
+}
+
+// TestThreeDimensionalMatchesMWPMWeight: on the d=3 cycle graph the LUT's
+// minimum fault weight must equal the MWPM decoder's matching cost.
+func TestThreeDimensionalMatchesMWPMWeight(t *testing.T) {
+	g := lattice.New3D(3, 3)
+	lutDec, err := New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mwpmDec := mwpm.NewDecoder(g)
+	s := noise.NewSampler(g, 0.03, 5, 11)
+	var trial noise.Trial
+	for i := 0; i < 400; i++ {
+		s.Sample(&trial)
+		wl := len(lutDec.Decode(trial.Defects))
+		wm := len(mwpmDec.Decode(trial.Defects))
+		if wl != wm {
+			t.Fatalf("weights differ on 3-D syndrome: LUT %d vs MWPM %d (defects %v)",
+				wl, wm, trial.Defects)
+		}
+	}
+}
+
+func TestDecodeReproducesSyndrome(t *testing.T) {
+	for _, dist := range []int{3, 4, 5} {
+		g := lattice.New2D(dist)
+		dec, err := New(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := noise.NewSampler(g, 0.05, uint64(dist), 2)
+		var trial noise.Trial
+		for i := 0; i < 300; i++ {
+			s.Sample(&trial)
+			corr := dec.Decode(trial.Defects)
+			got := core.SyndromeOf(g, corr)
+			if len(got) == 0 && len(trial.Defects) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, trial.Defects) {
+				t.Fatalf("d=%d: syndrome mismatch: got %v want %v", dist, got, trial.Defects)
+			}
+		}
+	}
+}
+
+// TestMinimumWeightAgreesWithMWPM: both decoders produce minimum-weight
+// corrections, so their correction weights must be identical on every
+// syndrome.
+func TestMinimumWeightAgreesWithMWPM(t *testing.T) {
+	g := lattice.New2D(4)
+	lutDec, err := New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mwpmDec := mwpm.NewDecoder(g)
+	rng := rand.New(rand.NewPCG(3, 3))
+	for trial := 0; trial < 500; trial++ {
+		// Random error pattern; derive its syndrome.
+		var edges []int32
+		for q := 0; q < g.NumDataQubits(); q++ {
+			if rng.Float64() < 0.1 {
+				edges = append(edges, g.SpatialEdge(int32(q), 0))
+			}
+		}
+		defects := core.SyndromeOf(g, edges)
+		wl := len(lutDec.Decode(defects))
+		wm := len(mwpmDec.Decode(defects))
+		if wl != wm {
+			t.Fatalf("correction weights differ: LUT %d vs MWPM %d (defects %v)", wl, wm, defects)
+		}
+		if wl != lutDec.MinWeight(maskOf(defects)) {
+			t.Fatalf("decode weight %d != table weight %d", wl, lutDec.MinWeight(maskOf(defects)))
+		}
+	}
+}
+
+func maskOf(defects []int32) uint32 {
+	var s uint32
+	for _, v := range defects {
+		s |= 1 << uint(v)
+	}
+	return s
+}
+
+// TestEveryTableEntryValid: for every possible syndrome of the d=3 code,
+// decoding must terminate and reproduce it (the table is total).
+func TestEveryTableEntryValid(t *testing.T) {
+	g := lattice.New2D(3)
+	dec, err := New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < dec.TableEntries(); s++ {
+		var defects []int32
+		for v := 0; v < g.V; v++ {
+			if s&(1<<uint(v)) != 0 {
+				defects = append(defects, int32(v))
+			}
+		}
+		corr := dec.Decode(defects)
+		got := core.SyndromeOf(g, corr)
+		if len(got) == 0 && len(defects) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, defects) {
+			t.Fatalf("syndrome %b: decode invalid", s)
+		}
+		if len(corr) != dec.MinWeight(uint32(s)) {
+			t.Fatalf("syndrome %b: weight %d, table says %d", s, len(corr), dec.MinWeight(uint32(s)))
+		}
+	}
+}
+
+func TestSingleErrorsCorrectedExactly(t *testing.T) {
+	g := lattice.New2D(5)
+	dec, err := New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < g.NumDataQubits(); q++ {
+		e := g.SpatialEdge(int32(q), 0)
+		defects := core.SyndromeOf(g, []int32{e})
+		corr := dec.Decode(defects)
+		if len(defects) > 0 && len(corr) != 1 {
+			t.Fatalf("single error on qubit %d corrected with %d edges", q, len(corr))
+		}
+	}
+}
+
+// TestScalingWall documents the exponential storage growth that rules LUT
+// decoders out at AFS scales (the paper's scalability argument).
+func TestScalingWall(t *testing.T) {
+	g3 := lattice.New2D(3)
+	d3, _ := New(g3)
+	g4 := lattice.New2D(4)
+	d4, _ := New(g4)
+	if d4.TableBytes() <= d3.TableBytes()*10 {
+		t.Fatalf("expected explosive growth: d=3 %d B, d=4 %d B",
+			d3.TableBytes(), d4.TableBytes())
+	}
+}
+
+func BenchmarkDecodeLUT(b *testing.B) {
+	g := lattice.New3D(3, 3)
+	dec, err := New(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := noise.NewSampler(g, 1e-2, 3, 1)
+	var trial noise.Trial
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sample(&trial)
+		dec.Decode(trial.Defects)
+	}
+}

@@ -1,0 +1,305 @@
+// Package microarch models the AFS decoder micro-architecture of paper
+// Fig. 6 — the three pipeline stages (Graph Generator, DFS Engine,
+// Correction Engine) with their memory structures (Spanning Tree Memory,
+// Zero Data Register, Root/Size tables, runtime and edge stacks, syndrome
+// hold registers) — and charges decoding latency exactly the way the paper
+// does (§IV-E):
+//
+//   - latency is dominated by reads from on-chip memory, modeled as 1 ns
+//     per 32-bit access (4 cycles at a 4 GHz clock, [CryoCache]);
+//   - the Gr-Gen stage costs tau_GG = sum_i sum_{j=1..diam(C_i)} j^2
+//     (Eq. 2): growing cluster C_i for its j-th half-edge step touches a
+//     boundary that has grown quadratically with j;
+//   - the DFS Engine and CORR Engine each cost tau = sum_i |V(C_i)|
+//     (Eq. 3): one access per cluster vertex;
+//   - the design is fully pipelined across clusters: thanks to the
+//     alternate edge stack (S1), the CORR Engine peels one cluster while
+//     the DFS Engine traverses the next, so only the last cluster's
+//     peeling is exposed after DFS completes. Spanning-forest generation
+//     cannot begin before clusters stop growing, so Gr-Gen is not
+//     overlapped.
+//
+// There is no single number that quantifies a decoder's latency — easier
+// syndromes decode faster — so the model is evaluated over Monte-Carlo
+// syndrome distributions (CollectLatencies) and reported as mean /
+// percentile statistics, matching the paper's "42 ns average, <150 ns
+// 99.9th percentile" methodology.
+package microarch
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"afs/internal/core"
+	"afs/internal/lattice"
+	"afs/internal/noise"
+)
+
+// Hardware constants of the paper's design point.
+const (
+	// ClockGHz is the decoder clock frequency.
+	ClockGHz = 4.0
+	// AccessCycles is the latency of a 32-bit on-chip memory access.
+	AccessCycles = 4
+	// AccessNS is the resulting memory access time in nanoseconds.
+	AccessNS = float64(AccessCycles) / ClockGHz
+	// WordBits is the memory word width.
+	WordBits = 32
+	// SequentialReadsPerOp is the number of dependent memory reads issued
+	// per counted operation: the paper states the decoder "requires up to
+	// three sequential memory reads every cycle" (§IV-E), so each unit of
+	// Eqs. (2)-(3) costs three back-to-back accesses. With this factor the
+	// model reproduces the paper's dedicated-decoder numbers (42 ns mean,
+	// <150 ns 99.9th percentile at d=11, p=1e-3).
+	SequentialReadsPerOp = 3
+	// SyndromeRoundNS is the syndrome-generation cycle time for
+	// superconducting qubits; decoding d rounds must finish within one
+	// round to avoid the backlog problem.
+	SyndromeRoundNS = 400.0
+)
+
+// Model selects latency-model variants for ablation; the zero value is the
+// paper's pipelined design.
+type Model struct {
+	// DisablePipeline serializes the three stages per cluster (no S1
+	// alternate edge stack): the full CORR time is exposed.
+	DisablePipeline bool
+	// AccessNS overrides the per-access latency; 0 selects AccessNS.
+	AccessNS float64
+	// ReadsPerOp overrides the sequential reads charged per operation;
+	// 0 selects SequentialReadsPerOp.
+	ReadsPerOp int
+	// HalfEdgeGrowthCost charges Eq. 2 per half-edge growth sweep instead
+	// of per full-edge growth iteration. The STM stores half-edge growth
+	// state (2 bits per edge), but a growth iteration of the hardware
+	// advances a cluster boundary by a full edge; charging per half sweep
+	// doubles the iteration count of isolated odd clusters and inflates
+	// the latency tail. Kept as an ablation.
+	HalfEdgeGrowthCost bool
+}
+
+func (m Model) accessNS() float64 {
+	a := m.AccessNS
+	if a <= 0 {
+		a = AccessNS
+	}
+	r := m.ReadsPerOp
+	if r <= 0 {
+		r = SequentialReadsPerOp
+	}
+	return a * float64(r)
+}
+
+// Breakdown is the per-stage latency of one decode, in nanoseconds.
+type Breakdown struct {
+	GrGen float64 // Eq. 2
+	DFS   float64 // Eq. 3
+	Corr  float64 // Eq. 3
+	// Exposed is the end-to-end decoding latency after pipelining.
+	Exposed float64
+}
+
+// Latency applies the paper's latency equations to one decode's execution
+// profile.
+func (m Model) Latency(st *core.DecodeStats) Breakdown {
+	var b Breakdown
+	lastV := 0
+	for _, c := range st.Clusters {
+		// Eq. 2: sum of j^2 for j = 1..diam(C_i), with diam measured in
+		// full-edge growth iterations (the decoder tracks half-edge state,
+		// two sweeps per iteration).
+		s := c.GrowthSteps
+		if !m.HalfEdgeGrowthCost {
+			s = (s + 1) / 2
+		}
+		b.GrGen += float64(s * (s + 1) * (2*s + 1) / 6)
+		b.DFS += float64(c.Vertices)
+		b.Corr += float64(c.Vertices)
+		lastV = c.Vertices
+	}
+	a := m.accessNS()
+	b.GrGen *= a
+	b.DFS *= a
+	b.Corr *= a
+	if m.DisablePipeline {
+		b.Exposed = b.GrGen + b.DFS + b.Corr
+	} else {
+		// DFS/CORR overlap through the double edge stack: only the last
+		// cluster's peeling remains exposed after DFS drains.
+		b.Exposed = b.GrGen + b.DFS + float64(lastV)*a
+	}
+	return b
+}
+
+// StageUtilization is the fraction of decode time spent in each stage,
+// averaged over a syndrome distribution. These fractions motivate the CDA
+// sharing ratios: stages with low utilization are shared across more
+// logical qubits.
+type StageUtilization struct {
+	GrGen, DFS, Corr float64
+}
+
+// LatencySample is one decoded syndrome's latency profile.
+type LatencySample struct {
+	Breakdown
+	Defects int
+}
+
+// CollectConfig configures a Monte-Carlo latency collection run.
+type CollectConfig struct {
+	Distance int
+	Rounds   int // 0 => Distance
+	P        float64
+	Trials   int
+	Seed     uint64
+	Workers  int // 0 => GOMAXPROCS
+	Model    Model
+	Decoder  core.Options
+	// ClosedCycle decodes isolated logical cycles (accuracy-style graphs)
+	// instead of the default continuous decoding windows the hardware is
+	// provisioned for (temporal boundary at the window end).
+	ClosedCycle bool
+	// KeepBreakdowns retains the per-trial stage breakdown (needed by the
+	// CDA contention simulation).
+	KeepBreakdowns bool
+}
+
+// CollectResult holds the latency distribution of a dedicated (conflict
+// free) AFS decoder over random syndromes.
+type CollectResult struct {
+	// ExposedNS is the per-trial end-to-end latency, unsorted (trial
+	// order), suitable for histogramming and tail fitting.
+	ExposedNS []float64
+	// Utilization is the average fraction of (unpipelined) work per stage.
+	Utilization StageUtilization
+	// MeanDefects is the mean syndrome weight.
+	MeanDefects float64
+	// MaxRuntimeStack and MaxEdgeStack are hardware high-water marks over
+	// the whole run, used to validate stack provisioning.
+	MaxRuntimeStack int
+	MaxEdgeStack    int
+	// Breakdowns holds the per-trial stage latencies when the run was
+	// configured with KeepBreakdowns.
+	Breakdowns []Breakdown
+}
+
+// CollectLatencies samples cfg.Trials random syndromes, decodes each, and
+// returns the latency distribution under the hardware model. The workload
+// is split over a deterministic worker pool.
+func CollectLatencies(cfg CollectConfig) CollectResult {
+	rounds := cfg.Rounds
+	if rounds == 0 {
+		rounds = cfg.Distance
+	}
+	var g *lattice.Graph
+	switch {
+	case rounds == 1:
+		g = lattice.New2D(cfg.Distance)
+	case cfg.ClosedCycle:
+		g = lattice.New3D(cfg.Distance, rounds)
+	default:
+		g = lattice.New3DWindow(cfg.Distance, rounds)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Trials && cfg.Trials > 0 {
+		workers = cfg.Trials
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	type part struct {
+		exposed       []float64
+		breakdowns    []Breakdown
+		gg, dfs, corr float64
+		defects       uint64
+		maxRT, maxES  int
+	}
+	parts := make([]part, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		share := cfg.Trials / workers
+		if w < cfg.Trials%workers {
+			share++
+		}
+		wg.Add(1)
+		go func(w, share int) {
+			defer wg.Done()
+			dec := core.NewDecoder(g, cfg.Decoder)
+			s := noise.NewSampler(g, cfg.P, cfg.Seed, uint64(w)+1)
+			var trial noise.Trial
+			pt := &parts[w]
+			pt.exposed = make([]float64, 0, share)
+			for i := 0; i < share; i++ {
+				s.Sample(&trial)
+				dec.Decode(trial.Defects)
+				b := cfg.Model.Latency(&dec.Stats)
+				pt.exposed = append(pt.exposed, b.Exposed)
+				if cfg.KeepBreakdowns {
+					pt.breakdowns = append(pt.breakdowns, b)
+				}
+				pt.gg += b.GrGen
+				pt.dfs += b.DFS
+				pt.corr += b.Corr
+				pt.defects += uint64(len(trial.Defects))
+				if dec.Stats.MaxRuntimeStack > pt.maxRT {
+					pt.maxRT = dec.Stats.MaxRuntimeStack
+				}
+				if dec.Stats.MaxEdgeStack > pt.maxES {
+					pt.maxES = dec.Stats.MaxEdgeStack
+				}
+			}
+		}(w, share)
+	}
+	wg.Wait()
+
+	var res CollectResult
+	var gg, dfs, corr float64
+	var defects uint64
+	for i := range parts {
+		res.ExposedNS = append(res.ExposedNS, parts[i].exposed...)
+		if cfg.KeepBreakdowns {
+			res.Breakdowns = append(res.Breakdowns, parts[i].breakdowns...)
+		}
+		gg += parts[i].gg
+		dfs += parts[i].dfs
+		corr += parts[i].corr
+		defects += parts[i].defects
+		if parts[i].maxRT > res.MaxRuntimeStack {
+			res.MaxRuntimeStack = parts[i].maxRT
+		}
+		if parts[i].maxES > res.MaxEdgeStack {
+			res.MaxEdgeStack = parts[i].maxES
+		}
+	}
+	total := gg + dfs + corr
+	if total > 0 {
+		res.Utilization = StageUtilization{GrGen: gg / total, DFS: dfs / total, Corr: corr / total}
+	}
+	if cfg.Trials > 0 {
+		res.MeanDefects = float64(defects) / float64(cfg.Trials)
+	}
+	return res
+}
+
+// PercentileNS returns the p-th percentile of the collected exposed
+// latencies (sorting a copy).
+func (r *CollectResult) PercentileNS(p float64) float64 {
+	if len(r.ExposedNS) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(r.ExposedNS))
+	copy(sorted, r.ExposedNS)
+	sort.Float64s(sorted)
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

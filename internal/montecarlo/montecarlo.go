@@ -1,0 +1,195 @@
+// Package montecarlo implements the paper's Monte-Carlo simulation
+// infrastructure (§III-A): for each configuration of physical error rate,
+// code distance, and noise model it samples random trials, decodes them,
+// counts logical failures, and attaches bootstrap confidence intervals to
+// the measured rates. Trials are distributed over a worker pool with
+// deterministic per-worker seeding, so every reported number is exactly
+// reproducible.
+package montecarlo
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"afs/internal/lattice"
+	"afs/internal/noise"
+	"afs/internal/stats"
+)
+
+// Decoder is the minimal decoding contract: defects in, correction edge
+// indices out. Both the Union-Find decoder (internal/core) and the MWPM
+// baseline (internal/mwpm) satisfy it.
+type Decoder interface {
+	Decode(defects []int32) []int32
+}
+
+// Factory builds a fresh decoder bound to g. Each worker calls it once, so
+// implementations need not be safe for concurrent use.
+type Factory func(g *lattice.Graph) Decoder
+
+// AccuracyConfig describes one logical-error-rate measurement point.
+type AccuracyConfig struct {
+	// Distance is the surface code distance d.
+	Distance int
+	// Rounds is the number of detector layers; 0 selects the paper's
+	// default of d rounds (a full logical cycle), and 1 selects the
+	// perfect-measurement 2-D model.
+	Rounds int
+	// P is the physical error rate of the phenomenological model.
+	P float64
+	// Trials is the number of Monte-Carlo trials (the paper uses 10^7).
+	Trials uint64
+	// Workers is the parallelism; 0 selects GOMAXPROCS.
+	Workers int
+	// Seed makes the run reproducible.
+	Seed uint64
+	// New builds the decoder under test.
+	New Factory
+}
+
+func (c AccuracyConfig) rounds() int {
+	if c.Rounds == 0 {
+		return c.Distance
+	}
+	return c.Rounds
+}
+
+// AccuracyResult is the outcome of one measurement point.
+type AccuracyResult struct {
+	Distance         int
+	Rounds           int
+	P                float64
+	Trials           uint64
+	Failures         uint64
+	LogicalErrorRate float64
+	CI               stats.RateCI
+	MeanDefects      float64
+	Elapsed          time.Duration
+}
+
+// RunAccuracy measures the logical error rate of cfg's decoder: each trial
+// samples a phenomenological error, decodes the detection events, applies
+// the correction, and declares a logical failure when the residual error
+// crosses the north boundary cut an odd number of times.
+func RunAccuracy(cfg AccuracyConfig) AccuracyResult {
+	start := time.Now()
+	rounds := cfg.rounds()
+	var g *lattice.Graph
+	if rounds == 1 {
+		g = lattice.New2D(cfg.Distance)
+	} else {
+		g = lattice.New3D(cfg.Distance, rounds)
+	}
+	cut := g.NorthCutQubits()
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if uint64(workers) > cfg.Trials && cfg.Trials > 0 {
+		workers = int(cfg.Trials)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	type partial struct {
+		failures uint64
+		defects  float64
+	}
+	parts := make([]partial, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		share := cfg.Trials / uint64(workers)
+		if uint64(w) < cfg.Trials%uint64(workers) {
+			share++
+		}
+		wg.Add(1)
+		go func(w int, share uint64) {
+			defer wg.Done()
+			dec := cfg.New(g)
+			s := noise.NewSampler(g, cfg.P, cfg.Seed, uint64(w)+1)
+			var trial noise.Trial
+			var residual noise.Bitset
+			var totalDefects uint64
+			for i := uint64(0); i < share; i++ {
+				s.Sample(&trial)
+				totalDefects += uint64(len(trial.Defects))
+				corr := dec.Decode(trial.Defects)
+				ApplyCorrection(g, corr, &trial, &residual)
+				if residual.Parity(cut) {
+					parts[w].failures++
+				}
+			}
+			if share > 0 {
+				parts[w].defects = float64(totalDefects) / float64(share)
+			}
+		}(w, share)
+	}
+	wg.Wait()
+
+	var failures uint64
+	var meanDefects float64
+	for _, p := range parts {
+		failures += p.failures
+		meanDefects += p.defects
+	}
+	meanDefects /= float64(workers)
+
+	res := AccuracyResult{
+		Distance:    cfg.Distance,
+		Rounds:      rounds,
+		P:           cfg.P,
+		Trials:      cfg.Trials,
+		Failures:    failures,
+		MeanDefects: meanDefects,
+		Elapsed:     time.Since(start),
+	}
+	if cfg.Trials > 0 {
+		res.LogicalErrorRate = float64(failures) / float64(cfg.Trials)
+	}
+	res.CI = rateInterval(failures, cfg.Trials, cfg.Seed)
+	return res
+}
+
+// rateInterval attaches a 95% confidence interval to a Monte-Carlo rate:
+// percentile bootstrap in general, Wilson score when no failures were
+// observed (the bootstrap is degenerate at k=0 and a zero-failure run
+// still carries an informative upper bound).
+func rateInterval(failures, trialCount, seed uint64) stats.RateCI {
+	if failures == 0 {
+		return stats.WilsonInterval(failures, trialCount, 0.95)
+	}
+	return stats.BootstrapRateCI(failures, trialCount, 2000, 0.95, seed^0xb00757aa)
+}
+
+// ApplyCorrection computes the residual data-error mask for a trial:
+// residual = net injected data error XOR data effect of the correction.
+func ApplyCorrection(g *lattice.Graph, correction []int32, trial *noise.Trial, residual *noise.Bitset) {
+	residual.Resize(g.NumDataQubits())
+	residual.Clear()
+	for _, e := range correction {
+		ed := &g.Edges[e]
+		if ed.Kind == lattice.Spatial {
+			residual.Flip(int(ed.Qubit))
+		}
+	}
+	residual.Xor(trial.NetData)
+}
+
+// SweepAccuracy runs RunAccuracy over the cross product of distances and
+// error rates, returning results in row-major order (distance outer, p
+// inner). It is the engine behind the paper's Figures 3 and 8.
+func SweepAccuracy(base AccuracyConfig, distances []int, ps []float64) []AccuracyResult {
+	out := make([]AccuracyResult, 0, len(distances)*len(ps))
+	for _, d := range distances {
+		for _, p := range ps {
+			cfg := base
+			cfg.Distance = d
+			cfg.P = p
+			out = append(out, RunAccuracy(cfg))
+		}
+	}
+	return out
+}

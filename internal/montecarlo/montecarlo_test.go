@@ -1,0 +1,115 @@
+package montecarlo
+
+import (
+	"testing"
+
+	"afs/internal/core"
+	"afs/internal/lattice"
+	"afs/internal/mwpm"
+	"afs/internal/noise"
+)
+
+func ufFactory(g *lattice.Graph) Decoder   { return core.NewDecoder(g, core.Options{}) }
+func mwpmFactory(g *lattice.Graph) Decoder { return mwpm.NewDecoder(g) }
+
+func TestZeroNoiseNeverFails(t *testing.T) {
+	r := RunAccuracy(AccuracyConfig{Distance: 5, P: 0, Trials: 1000, Seed: 1, New: ufFactory})
+	if r.Failures != 0 {
+		t.Fatalf("p=0 produced %d failures", r.Failures)
+	}
+	if r.LogicalErrorRate != 0 || r.MeanDefects != 0 {
+		t.Fatalf("p=0 stats wrong: %+v", r)
+	}
+}
+
+func TestDeterministicGivenSeedAndWorkers(t *testing.T) {
+	cfg := AccuracyConfig{Distance: 5, P: 0.02, Trials: 20000, Seed: 7, Workers: 1, New: ufFactory}
+	a := RunAccuracy(cfg)
+	b := RunAccuracy(cfg)
+	if a.Failures != b.Failures {
+		t.Fatalf("same seed produced %d vs %d failures", a.Failures, b.Failures)
+	}
+}
+
+// TestBelowThresholdSuppression: at p well below the UF threshold, larger
+// distance must suppress the logical error rate (the defining property of
+// Figure 8).
+func TestBelowThresholdSuppression(t *testing.T) {
+	r3 := RunAccuracy(AccuracyConfig{Distance: 3, P: 0.01, Trials: 60000, Seed: 3, New: ufFactory})
+	r7 := RunAccuracy(AccuracyConfig{Distance: 7, P: 0.01, Trials: 60000, Seed: 3, New: ufFactory})
+	if r7.LogicalErrorRate >= r3.LogicalErrorRate {
+		t.Fatalf("no suppression: d=3 %.4g vs d=7 %.4g",
+			r3.LogicalErrorRate, r7.LogicalErrorRate)
+	}
+	if r3.LogicalErrorRate == 0 {
+		t.Fatal("d=3 at p=0.01 should show failures in 60k trials")
+	}
+}
+
+// TestRepeated2DDegradesWithDistance reproduces the paper's Figure 3(b)
+// effect: a 2-D decoder under noisy measurements gets WORSE with distance.
+func TestRepeated2DDegradesWithDistance(t *testing.T) {
+	r3 := RunRepeated2D(AccuracyConfig{Distance: 3, P: 0.01, Trials: 20000, Seed: 5, New: ufFactory})
+	r7 := RunRepeated2D(AccuracyConfig{Distance: 7, P: 0.01, Trials: 20000, Seed: 5, New: ufFactory})
+	if r7.LogicalErrorRate <= r3.LogicalErrorRate {
+		t.Fatalf("repeated-2D should degrade with d: d=3 %.4g vs d=7 %.4g",
+			r3.LogicalErrorRate, r7.LogicalErrorRate)
+	}
+}
+
+// TestMWPMAtLeastAsAccurateAsUF2D: on the 2-D perfect-measurement problem,
+// exact matching is the more accurate decoder (UF approximates it).
+func TestMWPMAtLeastAsAccurateAsUF2D(t *testing.T) {
+	uf := RunAccuracy(AccuracyConfig{Distance: 5, P: 0.03, Rounds: 1, Trials: 60000, Seed: 9, New: ufFactory})
+	mw := RunAccuracy(AccuracyConfig{Distance: 5, P: 0.03, Rounds: 1, Trials: 60000, Seed: 9, New: mwpmFactory})
+	// Allow Monte-Carlo noise: MWPM must not be meaningfully worse.
+	if mw.LogicalErrorRate > uf.LogicalErrorRate*1.15 {
+		t.Fatalf("MWPM (%.4g) worse than UF (%.4g)", mw.LogicalErrorRate, uf.LogicalErrorRate)
+	}
+}
+
+func TestCIBracketsRate(t *testing.T) {
+	r := RunAccuracy(AccuracyConfig{Distance: 3, P: 0.02, Trials: 30000, Seed: 11, New: ufFactory})
+	if r.Failures == 0 {
+		t.Fatal("expected failures at d=3, p=0.02")
+	}
+	if r.CI.Lo > r.LogicalErrorRate || r.CI.Hi < r.LogicalErrorRate {
+		t.Fatalf("CI [%g,%g] does not bracket %g", r.CI.Lo, r.CI.Hi, r.LogicalErrorRate)
+	}
+}
+
+func TestApplyCorrectionResidual(t *testing.T) {
+	g := lattice.New2D(5)
+	trial := noise.Trial{NetData: noise.NewBitset(g.NumDataQubits())}
+	trial.NetData.Set(3)
+	var residual noise.Bitset
+	// Correction on the same qubit cancels the error.
+	ApplyCorrection(g, []int32{g.SpatialEdge(3, 0)}, &trial, &residual)
+	if residual.PopCount() != 0 {
+		t.Fatal("matching correction left residual")
+	}
+	// Correction elsewhere leaves both.
+	ApplyCorrection(g, []int32{g.SpatialEdge(7, 0)}, &trial, &residual)
+	if residual.PopCount() != 2 || !residual.Get(3) || !residual.Get(7) {
+		t.Fatal("residual wrong")
+	}
+}
+
+func TestSweepAccuracyShape(t *testing.T) {
+	rs := SweepAccuracy(AccuracyConfig{Trials: 1000, Seed: 1, New: ufFactory},
+		[]int{3, 5}, []float64{0.01, 0.02})
+	if len(rs) != 4 {
+		t.Fatalf("sweep returned %d results", len(rs))
+	}
+	if rs[0].Distance != 3 || rs[0].P != 0.01 || rs[3].Distance != 5 || rs[3].P != 0.02 {
+		t.Fatalf("sweep order wrong: %+v", rs)
+	}
+}
+
+func TestWorkerSplitCoversAllTrials(t *testing.T) {
+	// 7 trials over 3 workers must still run exactly 7 trials.
+	r := RunAccuracy(AccuracyConfig{Distance: 3, P: 0.01, Trials: 7, Workers: 3, Seed: 1, New: ufFactory})
+	if r.Trials != 7 {
+		t.Fatalf("trials = %d", r.Trials)
+	}
+}

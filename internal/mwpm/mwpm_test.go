@@ -1,0 +1,233 @@
+package mwpm
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"afs/internal/core"
+	"afs/internal/lattice"
+	"afs/internal/noise"
+)
+
+// bruteForceCost enumerates every partition of the defects into pairs and
+// boundary singletons and returns the minimum total cost. It is the oracle
+// the DP is validated against.
+func bruteForceCost(d *Decoder, n int, used uint32) int32 {
+	if used == uint32(1<<uint(n))-1 {
+		return 0
+	}
+	i := 0
+	for used&(1<<uint(i)) != 0 {
+		i++
+	}
+	best := d.bnd[i] + bruteForceCost(d, n, used|1<<uint(i))
+	for j := i + 1; j < n; j++ {
+		if used&(1<<uint(j)) != 0 {
+			continue
+		}
+		c := d.w[i*n+j] + bruteForceCost(d, n, used|1<<uint(i)|1<<uint(j))
+		if c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+// correctionCost measures the length (edge count) of an emitted correction.
+func correctionCost(corr []int32) int32 { return int32(len(corr)) }
+
+func TestExactDPMatchesBruteForce(t *testing.T) {
+	g := lattice.New3D(5, 5)
+	dec := NewDecoder(g)
+	rng := rand.New(rand.NewPCG(7, 3))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.IntN(9)
+		seen := map[int32]bool{}
+		var defects []int32
+		for len(defects) < n {
+			v := int32(rng.IntN(g.V))
+			if !seen[v] {
+				seen[v] = true
+				defects = append(defects, v)
+			}
+		}
+		corr := dec.Decode(defects)
+		// The emitted chain length must equal the optimal matching cost.
+		dec.prepare(defects)
+		want := bruteForceCost(dec, n, 0)
+		if got := correctionCost(corr); got != want {
+			t.Fatalf("trial %d: correction cost %d != optimal matching cost %d (defects %v)",
+				trial, got, want, defects)
+		}
+	}
+}
+
+func TestCorrectionReproducesSyndrome(t *testing.T) {
+	for _, build := range []func() *lattice.Graph{
+		func() *lattice.Graph { return lattice.New2D(5) },
+		func() *lattice.Graph { return lattice.New2D(9) },
+		func() *lattice.Graph { return lattice.New3D(5, 5) },
+	} {
+		g := build()
+		dec := NewDecoder(g)
+		s := noise.NewSampler(g, 0.02, 11, 13)
+		var trial noise.Trial
+		for i := 0; i < 500; i++ {
+			s.Sample(&trial)
+			corr := dec.Decode(trial.Defects)
+			got := core.SyndromeOf(g, corr)
+			want := trial.Defects
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%v: syndrome mismatch\n got  %v\n want %v", g, got, want)
+			}
+		}
+	}
+}
+
+func TestGreedyFallbackReproducesSyndrome(t *testing.T) {
+	g := lattice.New3D(5, 5)
+	dec := NewDecoder(g)
+	dec.MaxExact = 2 // force the greedy path for anything bigger
+	s := noise.NewSampler(g, 0.03, 21, 23)
+	var trial noise.Trial
+	greedyUsed := false
+	for i := 0; i < 500; i++ {
+		s.Sample(&trial)
+		corr := dec.Decode(trial.Defects)
+		got := core.SyndromeOf(g, corr)
+		want := trial.Defects
+		if len(trial.Defects) > 2 {
+			greedyUsed = true
+		}
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("greedy syndrome mismatch\n got  %v\n want %v", got, want)
+		}
+	}
+	if !greedyUsed || dec.Stats.GreedyInstances == 0 {
+		t.Fatal("test never exercised the greedy fallback")
+	}
+}
+
+func TestGreedyNearOptimal(t *testing.T) {
+	// The refined greedy matcher should rarely be worse than optimal and
+	// never invalid; quantify the gap on random instances.
+	g := lattice.New3D(7, 7)
+	exact := NewDecoder(g)
+	greedy := NewDecoder(g)
+	greedy.MaxExact = 1 // every multi-defect instance takes the greedy path
+	rng := rand.New(rand.NewPCG(5, 9))
+	worse := 0
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.IntN(10)
+		seen := map[int32]bool{}
+		var defects []int32
+		for len(defects) < n {
+			v := int32(rng.IntN(g.V))
+			if !seen[v] {
+				seen[v] = true
+				defects = append(defects, v)
+			}
+		}
+		ce := correctionCost(exact.Decode(defects))
+		cg := correctionCost(greedy.Decode(defects))
+		if cg < ce {
+			t.Fatalf("greedy beat the exact optimum: %d < %d", cg, ce)
+		}
+		if cg > ce {
+			worse++
+		}
+	}
+	if worse > 40 { // >20% suboptimal would indicate a broken refinement
+		t.Fatalf("greedy suboptimal on %d/200 instances", worse)
+	}
+}
+
+func TestSingleDefectMatchesNearestBoundary(t *testing.T) {
+	g := lattice.New2D(7)
+	dec := NewDecoder(g)
+	for r := 0; r < g.Distance-1; r++ {
+		corr := dec.Decode([]int32{g.VertexID(r, 3, 0)})
+		want := r + 1
+		if s := g.Distance - 1 - r; s < want {
+			want = s
+		}
+		if len(corr) != want {
+			t.Fatalf("defect at row %d corrected with %d edges, want %d", r, len(corr), want)
+		}
+	}
+}
+
+func TestDecodeEmpty(t *testing.T) {
+	dec := NewDecoder(lattice.New2D(5))
+	if corr := dec.Decode(nil); len(corr) != 0 {
+		t.Fatalf("empty syndrome produced correction %v", corr)
+	}
+}
+
+// TestMWPMCorrectsMinimumWeightProperty: any error of weight at most
+// floor((d-1)/2) is corrected without logical error.
+func TestMWPMCorrectsLowWeightErrors(t *testing.T) {
+	g := lattice.New2D(5)
+	dec := NewDecoder(g)
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 17))
+		k := 1 + rng.IntN(2) // weight 1 or 2 on a distance-5 code
+		var edges []int32
+		seen := map[int32]bool{}
+		for len(edges) < k {
+			q := int32(rng.IntN(g.NumDataQubits()))
+			if !seen[q] {
+				seen[q] = true
+				edges = append(edges, g.SpatialEdge(q, 0))
+			}
+		}
+		defects := core.SyndromeOf(g, edges)
+		corr := dec.Decode(defects)
+		var residual noise.Bitset
+		residual.Resize(g.NumDataQubits())
+		for _, e := range edges {
+			residual.Flip(int(g.Edges[e].Qubit))
+		}
+		for _, e := range corr {
+			if g.Edges[e].Kind == lattice.Spatial {
+				residual.Flip(int(g.Edges[e].Qubit))
+			}
+		}
+		return !residual.Parity(g.NorthCutQubits())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDecode2D(b *testing.B) {
+	g := lattice.New2D(11)
+	dec := NewDecoder(g)
+	s := noise.NewSampler(g, 5e-3, 1, 1)
+	var trial noise.Trial
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sample(&trial)
+		dec.Decode(trial.Defects)
+	}
+}
+
+func BenchmarkDecode3D(b *testing.B) {
+	g := lattice.New3D(7, 7)
+	dec := NewDecoder(g)
+	s := noise.NewSampler(g, 1e-3, 2, 1)
+	var trial noise.Trial
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sample(&trial)
+		dec.Decode(trial.Defects)
+	}
+}

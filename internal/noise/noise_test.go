@@ -1,0 +1,275 @@
+package noise
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"afs/internal/lattice"
+)
+
+func TestSampleReproducesDetectionEvents(t *testing.T) {
+	g := lattice.New3D(5, 5)
+	s := NewSampler(g, 0.05, 1, 2)
+	var trial Trial
+	for i := 0; i < 500; i++ {
+		s.Sample(&trial)
+		// Recompute detection events from the error edges independently.
+		marks := map[int32]bool{}
+		for _, ei := range trial.ErrorEdges {
+			e := g.Edges[ei]
+			for _, v := range [2]int32{e.U, e.V} {
+				if !g.IsBoundary(v) {
+					marks[v] = !marks[v]
+				}
+			}
+		}
+		want := 0
+		for _, odd := range marks {
+			if odd {
+				want++
+			}
+		}
+		if len(trial.Defects) != want {
+			t.Fatalf("trial %d: %d defects, recomputed %d", i, len(trial.Defects), want)
+		}
+		for _, v := range trial.Defects {
+			if !marks[v] {
+				t.Fatalf("trial %d: defect %d not odd in recomputation", i, v)
+			}
+		}
+		// Defects must be sorted and unique.
+		for j := 1; j < len(trial.Defects); j++ {
+			if trial.Defects[j] <= trial.Defects[j-1] {
+				t.Fatalf("defects not sorted/unique: %v", trial.Defects)
+			}
+		}
+	}
+}
+
+func TestSampleNetDataMatchesSpatialErrors(t *testing.T) {
+	g := lattice.New3D(5, 5)
+	s := NewSampler(g, 0.05, 3, 4)
+	var trial Trial
+	for i := 0; i < 300; i++ {
+		s.Sample(&trial)
+		counts := map[int32]int{}
+		for _, ei := range trial.ErrorEdges {
+			e := g.Edges[ei]
+			if e.Kind == lattice.Spatial {
+				counts[e.Qubit]++
+			}
+		}
+		for q := 0; q < g.NumDataQubits(); q++ {
+			want := counts[int32(q)]%2 == 1
+			if trial.NetData.Get(q) != want {
+				t.Fatalf("qubit %d net error = %v, want %v", q, trial.NetData.Get(q), want)
+			}
+		}
+	}
+}
+
+func TestSampleZeroRate(t *testing.T) {
+	g := lattice.New2D(5)
+	s := NewSampler(g, 0, 1, 1)
+	var trial Trial
+	for i := 0; i < 100; i++ {
+		s.Sample(&trial)
+		if len(trial.ErrorEdges) != 0 || len(trial.Defects) != 0 {
+			t.Fatal("p=0 produced errors")
+		}
+	}
+}
+
+// TestSparseBernoulliRate: the geometric-skip sampler must be unbiased.
+func TestSparseBernoulliRate(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	const n, p, iters = 1000, 0.01, 2000
+	total := 0
+	for i := 0; i < iters; i++ {
+		SparseBernoulli(rng, n, p, func(int) { total++ })
+	}
+	got := float64(total) / float64(n*iters)
+	// Standard error ~ sqrt(p/(n*iters)) ~ 7e-5; allow 5 sigma.
+	if math.Abs(got-p) > 4e-4 {
+		t.Fatalf("empirical rate %.5f, want %.3f", got, p)
+	}
+}
+
+func TestSparseBernoulliOrderedAndInRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 1))
+		prev := -1
+		ok := true
+		SparseBernoulli(r, 500, 0.05, func(i int) {
+			if i <= prev || i < 0 || i >= 500 {
+				ok = false
+			}
+			prev = i
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseBernoulliEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	calls := 0
+	SparseBernoulli(rng, 0, 0.5, func(int) { calls++ })
+	SparseBernoulli(rng, 100, 0, func(int) { calls++ })
+	if calls != 0 {
+		t.Fatal("n=0 or p=0 invoked the callback")
+	}
+	// p=1 must visit every index exactly once in order.
+	var got []int
+	SparseBernoulli(rng, 10, 1, func(i int) { got = append(got, i) })
+	if len(got) != 10 {
+		t.Fatalf("p=1 visited %d of 10", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("p=1 order wrong: %v", got)
+		}
+	}
+}
+
+func TestMeanFaultsTracksExpectation(t *testing.T) {
+	g := lattice.New3D(7, 7)
+	p := 2e-3
+	s := NewSampler(g, p, 11, 12)
+	var trial Trial
+	for i := 0; i < 20000; i++ {
+		s.Sample(&trial)
+	}
+	want := p * float64(len(g.Edges))
+	if got := s.MeanFaults(); math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("mean faults %.3f, want ~%.3f", got, want)
+	}
+}
+
+func TestSamplerDeterminism(t *testing.T) {
+	g := lattice.New3D(5, 5)
+	a := NewSampler(g, 0.01, 42, 1)
+	b := NewSampler(g, 0.01, 42, 1)
+	var ta, tb Trial
+	for i := 0; i < 100; i++ {
+		a.Sample(&ta)
+		b.Sample(&tb)
+		if len(ta.Defects) != len(tb.Defects) {
+			t.Fatal("same-seed samplers diverged")
+		}
+		for j := range ta.Defects {
+			if ta.Defects[j] != tb.Defects[j] {
+				t.Fatal("same-seed samplers diverged")
+			}
+		}
+	}
+	c := NewSampler(g, 0.01, 42, 2)
+	var tc Trial
+	diverged := false
+	a = NewSampler(g, 0.01, 42, 1)
+	for i := 0; i < 100 && !diverged; i++ {
+		a.Sample(&ta)
+		c.Sample(&tc)
+		if len(ta.ErrorEdges) != len(tc.ErrorEdges) {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("different worker seeds produced identical streams")
+	}
+}
+
+func TestBitsetBasics(t *testing.T) {
+	b := NewBitset(130)
+	if b.Len() != 130 || b.PopCount() != 0 {
+		t.Fatal("fresh bitset not empty")
+	}
+	b.Set(0)
+	b.Set(64)
+	b.Set(129)
+	if b.PopCount() != 3 || !b.Get(0) || !b.Get(64) || !b.Get(129) || b.Get(1) {
+		t.Fatal("set/get broken")
+	}
+	b.Flip(64)
+	if b.Get(64) || b.PopCount() != 2 {
+		t.Fatal("flip broken")
+	}
+	var got []int
+	b.ForEachSet(func(i int) { got = append(got, i) })
+	if len(got) != 2 || got[0] != 0 || got[1] != 129 {
+		t.Fatalf("ForEachSet = %v", got)
+	}
+	if !b.Parity([]int32{0, 1}) || b.Parity([]int32{0, 129}) {
+		t.Fatal("parity broken")
+	}
+	b.Clear()
+	if b.PopCount() != 0 {
+		t.Fatal("clear broken")
+	}
+}
+
+func TestBitsetXor(t *testing.T) {
+	a, b := NewBitset(100), NewBitset(100)
+	a.Set(3)
+	a.Set(50)
+	b.Set(50)
+	b.Set(99)
+	a.Xor(b)
+	if !a.Get(3) || a.Get(50) || !a.Get(99) || a.PopCount() != 2 {
+		t.Fatal("xor broken")
+	}
+}
+
+func TestBitsetResizePreservesPrefix(t *testing.T) {
+	b := NewBitset(64)
+	b.Set(10)
+	b.Resize(256)
+	if !b.Get(10) || b.Len() != 256 {
+		t.Fatal("grow lost data")
+	}
+	if b.Get(200) {
+		t.Fatal("grown area not zero")
+	}
+}
+
+func TestBitsetResizeClearsStaleBits(t *testing.T) {
+	b := NewBitset(100)
+	b.Set(99)
+	b.Set(68)
+	b.Resize(70) // drops bit 99, keeps bit 68
+	if b.PopCount() != 1 || !b.Get(68) {
+		t.Fatalf("shrink kept wrong bits: popcount %d", b.PopCount())
+	}
+	b.Resize(100) // regrow: bit 99 must stay gone
+	if b.Get(99) || b.PopCount() != 1 {
+		t.Fatal("regrow resurrected stale bits")
+	}
+}
+
+func TestBitsetXorLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("xor with mismatched lengths did not panic")
+		}
+	}()
+	a, b := NewBitset(10), NewBitset(20)
+	a.Xor(b)
+}
+
+func BenchmarkSample(b *testing.B) {
+	for _, d := range []int{11, 25} {
+		g := lattice.New3D(d, d)
+		s := NewSampler(g, 1e-3, 1, 1)
+		var trial Trial
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s.Sample(&trial)
+			}
+		})
+	}
+}

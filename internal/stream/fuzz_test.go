@@ -1,0 +1,73 @@
+package stream
+
+import (
+	"testing"
+
+	"afs/internal/lattice"
+)
+
+// FuzzStreamArbitraryLayers feeds arbitrary detection-event layers
+// (including duplicates) and checks the streaming invariant: the committed
+// corrections toggle exactly the fed detection events, for any input.
+func FuzzStreamArbitraryLayers(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{7, 7, 7, 255, 0, 0, 9, 9})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	const d = 4
+	per := d * (d - 1)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		dec, err := New(d, d, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Interpret the bytes as (round, events) groups of 3 events each.
+		rounds := len(raw)/3 + 1
+		if rounds > 24 {
+			rounds = 24
+		}
+		fed := map[[2]int32]bool{} // (round, ancilla) -> present
+		for r := 0; r < rounds; r++ {
+			var events []int32
+			for k := 0; k < 3 && r*3+k < len(raw); k++ {
+				x := int32(int(raw[r*3+k]) % per)
+				if !fed[[2]int32{int32(r), x}] {
+					fed[[2]int32{int32(r), x}] = true
+					events = append(events, x)
+				}
+				// Feed the duplicate anyway: PushLayer must ignore it.
+				events = append(events, x)
+			}
+			dec.PushLayer(events)
+		}
+		corr := dec.Flush()
+
+		// The corrections' detection-event toggles must equal fed.
+		g := lattice.New3D(d, rounds)
+		marks := map[int32]bool{}
+		toggle := func(v int32) {
+			if !g.IsBoundary(v) {
+				marks[v] = !marks[v]
+			}
+		}
+		for _, c := range corr {
+			switch c.Kind {
+			case lattice.Spatial:
+				e := g.Edges[g.SpatialEdge(c.Qubit, c.Round)]
+				toggle(e.U)
+				toggle(e.V)
+			case lattice.Temporal:
+				toggle(int32(c.Round*per) + c.Ancilla)
+				toggle(int32((c.Round+1)*per) + c.Ancilla)
+			}
+		}
+		for key := range fed {
+			marks[key[0]*int32(per)+key[1]] = !marks[key[0]*int32(per)+key[1]]
+		}
+		for v, odd := range marks {
+			if odd {
+				t.Fatalf("vertex %d unexplained after streaming arbitrary layers", v)
+			}
+		}
+	})
+}

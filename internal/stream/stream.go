@@ -1,0 +1,271 @@
+// Package stream implements continuous sliding-window decoding, the mode a
+// deployed AFS decoder actually runs in: syndrome rounds arrive forever,
+// and the decoder repeatedly decodes a W-round window, commits the
+// corrections in the window's older half, and slides forward.
+//
+// The paper evaluates isolated logical cycles (d rounds at a time) but
+// provisions the hardware for continuous operation — the Spanning Tree
+// Memory's edge budget includes one temporal link per vertex, i.e. a
+// temporal boundary at the top of every decoding window (see
+// internal/storage and lattice.New3DWindow). This package supplies the
+// control loop around that window graph:
+//
+//   - detector layers are buffered as they arrive (PushLayer);
+//   - when W layers are buffered, the window graph is decoded; clusters
+//     may match forward into the temporal boundary, deferring ambiguous
+//     decisions to the future;
+//   - corrections in the first C layers (the commit region) are final;
+//     a committed temporal edge crossing the commit seam explains half of
+//     a defect pair, so the far detection event is toggled before the next
+//     window sees it;
+//   - corrections in the tentative region are discarded and re-derived by
+//     the next window with more context;
+//   - Flush decodes whatever remains as a closed window (the stream's
+//     final round is measured perfectly, as in the accuracy simulations).
+package stream
+
+import (
+	"fmt"
+
+	"afs/internal/core"
+	"afs/internal/lattice"
+)
+
+// Correction is one committed decoding decision in global stream
+// coordinates.
+type Correction struct {
+	// Kind distinguishes data-qubit fixes from measurement-error flags.
+	Kind lattice.EdgeKind
+	// Qubit is the data qubit for spatial corrections, -1 otherwise.
+	Qubit int32
+	// Ancilla is the per-layer ancilla index for temporal corrections, -1
+	// otherwise.
+	Ancilla int32
+	// Round is the global detector layer of the correction (for temporal
+	// corrections, the earlier of the two layers).
+	Round int
+}
+
+// Decoder is a sliding-window streaming decoder for one logical qubit and
+// one error type. Not safe for concurrent use.
+type Decoder struct {
+	Distance int
+	// Window is W, the layers decoded together (the paper's logical cycle,
+	// d, by default). Commit is C, the layers finalized per slide (W/2 by
+	// default; 1 <= C <= W).
+	Window, Commit int
+
+	// In sliding mode commit < window always holds, so the window's
+	// temporal boundary edges — deferred decisions — are never committed.
+	g   *lattice.Graph // window graph with temporal boundary
+	dec *core.Decoder
+
+	finals map[int]*core.Decoder // closed-graph decoders for Flush, by layer count
+	closed map[int]*lattice.Graph
+
+	buffer    [][]int32 // buffered detection events per layer (ancilla indices)
+	carry     []int32   // seam toggles for the next window's first layer
+	base      int       // global index of buffer[0]
+	committed []Correction
+
+	defects []int32 // scratch
+	seam    map[int32]bool
+}
+
+// New creates a streaming decoder. window == 0 selects d; commit == 0
+// selects window/2 (minimum 1). commit must stay below window so that a
+// window's temporal-boundary matches remain revisable; a window larger
+// than the whole stream yields monolithic decoding at Flush.
+func New(distance, window, commit int) (*Decoder, error) {
+	if distance < 2 {
+		return nil, fmt.Errorf("stream: distance %d < 2", distance)
+	}
+	if window == 0 {
+		window = distance
+	}
+	if window < 2 {
+		return nil, fmt.Errorf("stream: window %d < 2", window)
+	}
+	if commit == 0 {
+		commit = window / 2
+		if commit < 1 {
+			commit = 1
+		}
+	}
+	if commit < 1 || commit >= window {
+		return nil, fmt.Errorf("stream: commit %d outside [1, %d); committing a full window would finalize its deferred boundary matches", commit, window)
+	}
+	g := lattice.New3DWindow(distance, window)
+	return &Decoder{
+		Distance: distance,
+		Window:   window,
+		Commit:   commit,
+		g:        g,
+		dec:      core.NewDecoder(g, core.Options{}),
+		finals:   map[int]*core.Decoder{},
+		closed:   map[int]*lattice.Graph{},
+		seam:     map[int32]bool{},
+	}, nil
+}
+
+// PushLayer feeds one round's detection events (per-layer ancilla indices,
+// 0 <= index < d(d-1)). The slice is copied; duplicate indices within a
+// round are ignored (a detection event either happened or it did not).
+// Indices outside the ancilla range panic — they indicate a framing bug in
+// the caller, not a noisy channel. Whenever a full window is buffered, it
+// is decoded and its commit region finalized.
+func (d *Decoder) PushLayer(events []int32) {
+	per := int32(d.Distance * (d.Distance - 1))
+	layer := make([]int32, 0, len(events))
+	for _, x := range events {
+		if x < 0 || x >= per {
+			panic(fmt.Sprintf("stream: ancilla index %d outside [0,%d)", x, per))
+		}
+		dup := false
+		for _, y := range layer {
+			if y == x {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			layer = append(layer, x)
+		}
+	}
+	d.buffer = append(d.buffer, layer)
+	if len(d.buffer) >= d.Window {
+		d.decodeWindow(false)
+	}
+}
+
+// Flush decodes any remaining buffered layers as a closed window (the final
+// round of the stream is assumed measured perfectly) and returns all
+// committed corrections. The decoder is left ready for a new stream.
+func (d *Decoder) Flush() []Correction {
+	for len(d.buffer) > 0 {
+		d.decodeWindow(true)
+	}
+	out := d.committed
+	d.committed = nil
+	d.base = 0
+	d.carry = nil
+	return out
+}
+
+// Committed returns the corrections finalized so far (without flushing).
+func (d *Decoder) Committed() []Correction { return d.committed }
+
+// decodeWindow decodes the current buffer prefix. In sliding mode the
+// prefix is exactly Window layers on the boundary window graph and only
+// the commit region is finalized; in final mode the whole buffer is
+// decoded on a closed graph and fully committed.
+func (d *Decoder) decodeWindow(final bool) {
+	var g *lattice.Graph
+	var dec *core.Decoder
+	var layers, commit int
+	if final {
+		layers = len(d.buffer)
+		commit = layers
+		// A single remaining layer has no temporal structure and is decoded
+		// as a 2-D problem; finalDecoder handles both cases.
+		g, dec = d.finalDecoder(layers)
+	} else {
+		layers = d.Window
+		commit = d.Commit
+		g, dec = d.g, d.dec
+	}
+
+	// Build the defect list in window-local vertex ids, applying carried
+	// seam toggles to layer 0.
+	per := d.Distance * (d.Distance - 1)
+	d.defects = d.defects[:0]
+	for _, x := range d.carry {
+		d.seam[x] = !d.seam[x]
+	}
+	for t := 0; t < layers; t++ {
+		for _, x := range d.buffer[t] {
+			if t == 0 && d.seam[x] {
+				d.seam[x] = false
+				continue // carried toggle cancels the event
+			}
+			d.defects = append(d.defects, int32(t*per)+x)
+		}
+		if t == 0 {
+			// Remaining seam toggles are new events created by the carry.
+			for x, on := range d.seam {
+				if on {
+					d.defects = append(d.defects, x)
+					d.seam[x] = false
+				}
+			}
+		}
+	}
+	d.carry = d.carry[:0]
+	sortInt32(d.defects)
+
+	corr := dec.Decode(d.defects)
+
+	// Commit region: record final corrections; temporal edges crossing the
+	// seam toggle the first tentative layer for the next window.
+	for _, ei := range corr {
+		e := &g.Edges[ei]
+		round := int(e.Round)
+		if round >= commit {
+			continue
+		}
+		switch e.Kind {
+		case lattice.Spatial:
+			d.committed = append(d.committed, Correction{
+				Kind: lattice.Spatial, Qubit: e.Qubit, Ancilla: -1,
+				Round: d.base + round,
+			})
+		case lattice.Temporal:
+			r, c, _ := g.VertexCoords(e.U)
+			x := int32(r*d.Distance + c)
+			d.committed = append(d.committed, Correction{
+				Kind: lattice.Temporal, Qubit: -1, Ancilla: x,
+				Round: d.base + round,
+			})
+			if round == commit-1 && !g.IsBoundary(e.V) {
+				// The edge's far end lies in the tentative region: the
+				// committed measurement-error decision explains the event
+				// at layer `commit`, so cancel it there.
+				d.carry = append(d.carry, x)
+			}
+		}
+	}
+
+	// Slide the buffer.
+	d.buffer = d.buffer[commit:]
+	d.base += commit
+}
+
+// finalDecoder returns (building lazily) a closed-graph decoder for the
+// given layer count.
+func (d *Decoder) finalDecoder(layers int) (*lattice.Graph, *core.Decoder) {
+	if dec, ok := d.finals[layers]; ok {
+		return d.closed[layers], dec
+	}
+	var g *lattice.Graph
+	if layers == 1 {
+		g = lattice.New2D(d.Distance)
+	} else {
+		g = lattice.New3D(d.Distance, layers)
+	}
+	dec := core.NewDecoder(g, core.Options{})
+	d.finals[layers] = dec
+	d.closed[layers] = g
+	return g, dec
+}
+
+func sortInt32(a []int32) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}

@@ -1,0 +1,134 @@
+package syndrome
+
+import (
+	"math/rand/v2"
+
+	"afs/internal/noise"
+)
+
+// CorrelatedSampler samples per-round combined syndrome frames under a
+// Pauli noise model with correlated X/Z components: each data qubit
+// suffers, per round, an X error with probability PX, a Z error with
+// probability PZ, and a Y error — simultaneous X and Z — with probability
+// PY; each syndrome bit is flipped with probability PM to model measurement
+// errors.
+//
+// The phenomenological model the accuracy studies use treats the two error
+// types independently (they are decoded independently), but the *syndrome
+// traffic* they generate is correlated whenever Y errors occur: a Y error
+// lights up two Z-type and two X-type ancillas in the same lattice
+// neighborhood (paper Fig. 2c). Geometry-based compression is designed
+// around exactly this correlation (§VI-C3), so evaluating it honestly
+// requires a sampler that produces it.
+type CorrelatedSampler struct {
+	Layout         *Layout
+	PX, PZ, PY, PM float64
+
+	rng *rand.Rand
+	// pending holds measurement-error carryovers into the next round:
+	// a flipped measurement toggles the detection event of round t and of
+	// round t+1.
+	pending []int
+}
+
+// NewCorrelatedSampler builds a sampler for the layout with the given fault
+// probabilities. Seeds make the stream reproducible.
+func NewCorrelatedSampler(l *Layout, pX, pZ, pY, pM float64, seed1, seed2 uint64) *CorrelatedSampler {
+	for _, p := range []float64{pX, pZ, pY, pM} {
+		if p < 0 || p >= 1 {
+			panic("syndrome: fault probabilities must be in [0,1)")
+		}
+	}
+	return &CorrelatedSampler{
+		Layout: l,
+		PX:     pX, PZ: pZ, PY: pY, PM: pM,
+		rng: rand.New(rand.NewPCG(seed1, seed2^0xc0441)),
+	}
+}
+
+// Reset discards measurement-error carryover (start of a fresh cycle).
+func (s *CorrelatedSampler) Reset() { s.pending = s.pending[:0] }
+
+// SampleRound writes one round's combined detection-event frame into out.
+func (s *CorrelatedSampler) SampleRound(out *noise.Bitset) {
+	l := s.Layout
+	out.Resize(l.CombinedBits())
+	out.Clear()
+
+	// Carryover from last round's measurement errors.
+	for _, bit := range s.pending {
+		out.Flip(bit)
+	}
+	s.pending = s.pending[:0]
+
+	d := l.D
+	// Data-qubit faults. Enumerate data qubits on the (2d-1)x(2d-1) grid:
+	// vertical-type at (2k, 2c) and horizontal-type at (2r+1, 2h+1).
+	nVert := d * d
+	nHorz := (d - 1) * (d - 1)
+	sampleType := func(p float64, flipX, flipZ bool) {
+		if p <= 0 {
+			return
+		}
+		noise.SparseBernoulli(s.rng, nVert+nHorz, p, func(q int) {
+			s.toggleDataFault(out, q, flipX, flipZ)
+		})
+	}
+	sampleType(s.PX, true, false) // X errors flip Z-type ancillas
+	sampleType(s.PZ, false, true) // Z errors flip X-type ancillas
+	sampleType(s.PY, true, true)  // Y errors flip both (the correlation)
+
+	// Measurement errors: flip a syndrome bit this round and carry the
+	// toggle into the next round's difference.
+	if s.PM > 0 {
+		noise.SparseBernoulli(s.rng, l.CombinedBits(), s.PM, func(bit int) {
+			out.Flip(bit)
+			s.pending = append(s.pending, bit)
+		})
+	}
+}
+
+// toggleDataFault toggles the detection events adjacent to data qubit q.
+// flipX selects the Z-ancilla (X-error) component, flipZ the X-ancilla
+// (Z-error) component.
+func (s *CorrelatedSampler) toggleDataFault(out *noise.Bitset, q int, flipX, flipZ bool) {
+	l := s.Layout
+	d := l.D
+	nVert := d * d
+	if q < nVert {
+		// Vertical-type data qubit at grid (2k, 2c): Z-ancilla neighbors
+		// at rows k-1 and k in column c; X-ancilla neighbors at (k, c-1)
+		// and (k, c) in X coordinates.
+		k, c := q/d, q%d
+		if flipX {
+			if k > 0 {
+				out.Flip(l.ZBit(k-1, c))
+			}
+			if k < d-1 {
+				out.Flip(l.ZBit(k, c))
+			}
+		}
+		if flipZ {
+			if c > 0 {
+				out.Flip(l.XBit(k, c-1))
+			}
+			if c < d-1 {
+				out.Flip(l.XBit(k, c))
+			}
+		}
+		return
+	}
+	// Horizontal-type data qubit at grid (2r+1, 2h+1): Z-ancilla neighbors
+	// at columns h and h+1 in row r; X-ancilla neighbors at rows r and r+1
+	// in X-column h.
+	q -= nVert
+	r, h := q/(d-1), q%(d-1)
+	if flipX {
+		out.Flip(l.ZBit(r, h))
+		out.Flip(l.ZBit(r, h+1))
+	}
+	if flipZ {
+		out.Flip(l.XBit(r, h))
+		out.Flip(l.XBit(r+1, h))
+	}
+}

@@ -1,0 +1,92 @@
+package syndrome
+
+import (
+	"testing"
+
+	"afs/internal/noise"
+)
+
+func TestCorrelatedSamplerZeroNoise(t *testing.T) {
+	l := NewLayout(5)
+	s := NewCorrelatedSampler(l, 0, 0, 0, 0, 1, 1)
+	var f noise.Bitset
+	for i := 0; i < 20; i++ {
+		s.SampleRound(&f)
+		if f.PopCount() != 0 {
+			t.Fatal("zero noise produced detection events")
+		}
+	}
+}
+
+func TestCorrelatedYErrorQuadruple(t *testing.T) {
+	l := NewLayout(5)
+	s := NewCorrelatedSampler(l, 0, 0, 0, 0, 1, 1)
+	var f noise.Bitset
+	f.Resize(l.CombinedBits())
+	// Interior vertical qubit q = k*d + c with k=2, c=2 (grid (4,4)).
+	s.toggleDataFault(&f, 2*5+2, true, true)
+	want := []int{l.ZBit(1, 2), l.ZBit(2, 2), l.XBit(2, 1), l.XBit(2, 2)}
+	if f.PopCount() != 4 {
+		t.Fatalf("Y error lit %d bits, want 4", f.PopCount())
+	}
+	for _, b := range want {
+		if !f.Get(b) {
+			t.Fatalf("expected bit %d set", b)
+		}
+	}
+}
+
+func TestCorrelatedBoundaryFaults(t *testing.T) {
+	l := NewLayout(3)
+	s := NewCorrelatedSampler(l, 0, 0, 0, 0, 1, 1)
+	var f noise.Bitset
+	f.Resize(l.CombinedBits())
+	// Vertical qubit at k=0 (north boundary): X component lights only one
+	// Z ancilla.
+	s.toggleDataFault(&f, 0*3+1, true, false)
+	if f.PopCount() != 1 || !f.Get(l.ZBit(0, 1)) {
+		t.Fatalf("boundary X fault wrong: %d bits", f.PopCount())
+	}
+	f.Clear()
+	// Horizontal qubit always lights two of each selected type.
+	s.toggleDataFault(&f, 9+0, true, true) // r=0, h=0
+	if f.PopCount() != 4 {
+		t.Fatalf("horizontal Y fault lit %d bits, want 4", f.PopCount())
+	}
+}
+
+// TestCorrelatedMeasurementErrorCarriesOver: a flipped measurement toggles
+// the detection event of its round AND the next, so with only measurement
+// noise every bit's total detection count over a flushed stream is even.
+func TestCorrelatedMeasurementErrorCarriesOver(t *testing.T) {
+	l := NewLayout(3)
+	s := NewCorrelatedSampler(l, 0, 0, 0, 0.2, 11, 5)
+	counts := make([]int, l.CombinedBits())
+	var f noise.Bitset
+	total := 0
+	for i := 0; i < 400; i++ {
+		s.SampleRound(&f)
+		f.ForEachSet(func(b int) { counts[b]++; total++ })
+	}
+	// Flush pending carryovers with one noiseless round.
+	s.PM = 0
+	s.SampleRound(&f)
+	f.ForEachSet(func(b int) { counts[b]++; total++ })
+	if total == 0 {
+		t.Fatal("no measurement errors sampled at PM=0.2")
+	}
+	for b, c := range counts {
+		if c%2 != 0 {
+			t.Fatalf("bit %d saw %d detection events; measurement errors must pair up", b, c)
+		}
+	}
+}
+
+func TestCorrelatedInvalidProbabilityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("p=1.5 accepted")
+		}
+	}()
+	NewCorrelatedSampler(NewLayout(3), 1.5, 0, 0, 0, 1, 1)
+}

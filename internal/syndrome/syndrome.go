@@ -1,0 +1,155 @@
+// Package syndrome handles the representation of syndrome data as it is
+// transmitted from the quantum substrate to the decoders: per-round frames
+// of detection-event bits for both ancilla types, and the lattice-aware bit
+// orderings that the geometry-based compression scheme (paper §VI-C3)
+// relies on.
+//
+// A distance-d surface code has d(d-1) Z-type ancillas (whose measurements
+// detect X errors) and d(d-1) X-type ancillas (detecting Z errors), so one
+// round of syndrome extraction produces 2d(d-1) bits per logical qubit —
+// the quantity behind the paper's bandwidth analysis (§VI-A).
+package syndrome
+
+import (
+	"sort"
+
+	"afs/internal/lattice"
+	"afs/internal/noise"
+)
+
+// Layout describes the canonical transmission order of one round of
+// syndrome bits for a distance-d logical qubit: the d(d-1) Z-ancilla bits
+// (row-major, r*d+c) followed by the d(d-1) X-ancilla bits (row-major,
+// a*(d-1)+b). It also knows each bit's physical position on the
+// (2d-1)x(2d-1) qubit grid, which geometry-based compression exploits.
+type Layout struct {
+	D int
+	// BitsPerType is d(d-1).
+	BitsPerType int
+	// gridI, gridJ give the grid coordinates of each combined bit.
+	gridI, gridJ []int16
+}
+
+// NewLayout builds the layout for distance d.
+func NewLayout(d int) *Layout {
+	if d < 2 {
+		panic("syndrome: distance must be >= 2")
+	}
+	n := d * (d - 1)
+	l := &Layout{D: d, BitsPerType: n,
+		gridI: make([]int16, 2*n), gridJ: make([]int16, 2*n)}
+	// Z-type ancillas sit at grid (2r+1, 2c), r in 0..d-2, c in 0..d-1.
+	for r := 0; r < d-1; r++ {
+		for c := 0; c < d; c++ {
+			bit := r*d + c
+			l.gridI[bit] = int16(2*r + 1)
+			l.gridJ[bit] = int16(2 * c)
+		}
+	}
+	// X-type ancillas sit at grid (2a, 2b+1), a in 0..d-1, b in 0..d-2.
+	for a := 0; a < d; a++ {
+		for b := 0; b < d-1; b++ {
+			bit := n + a*(d-1) + b
+			l.gridI[bit] = int16(2 * a)
+			l.gridJ[bit] = int16(2*b + 1)
+		}
+	}
+	return l
+}
+
+// CombinedBits returns the number of bits in one combined round frame,
+// 2d(d-1).
+func (l *Layout) CombinedBits() int { return 2 * l.BitsPerType }
+
+// ZBit returns the combined-frame index of the Z-ancilla at (r, c).
+func (l *Layout) ZBit(r, c int) int { return r*l.D + c }
+
+// XBit returns the combined-frame index of the X-ancilla at (a, b).
+func (l *Layout) XBit(a, b int) int { return l.BitsPerType + a*(l.D-1) + b }
+
+// GridPos returns the (i, j) position of combined bit `bit` on the
+// (2d-1)x(2d-1) qubit grid.
+func (l *Layout) GridPos(bit int) (i, j int) {
+	return int(l.gridI[bit]), int(l.gridJ[bit])
+}
+
+// GeoOrder returns a permutation perm such that perm[bit] is the position
+// of combined bit `bit` in the geometry-aware ordering: the qubit grid is
+// partitioned into tileSize x tileSize tiles and bits are ordered tile by
+// tile. Neighboring ancillas — which light up together when a single data
+// qubit fails, including the X/Z pairs produced by Y errors — land in the
+// same tile and therefore in the same compression block.
+func (l *Layout) GeoOrder(tileSize int) []int {
+	if tileSize < 1 {
+		panic("syndrome: tile size must be >= 1")
+	}
+	side := 2*l.D - 1
+	ntiles := (side + tileSize - 1) / tileSize
+	n := l.CombinedBits()
+	keys := make([]geoKey, n)
+	for bit := 0; bit < n; bit++ {
+		i, j := l.GridPos(bit)
+		keys[bit] = geoKey{(i/tileSize)*ntiles + j/tileSize, i, j, bit}
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a].less(keys[b]) })
+	perm := make([]int, n)
+	for pos, k := range keys {
+		perm[k.bit] = pos
+	}
+	return perm
+}
+
+type geoKey struct{ tile, i, j, bit int }
+
+func (a geoKey) less(b geoKey) bool {
+	if a.tile != b.tile {
+		return a.tile < b.tile
+	}
+	if a.i != b.i {
+		return a.i < b.i
+	}
+	return a.j < b.j
+}
+
+// RoundFrames splits the detection events of one error type into per-round
+// frames of d(d-1) bits each. defects must be sorted (as produced by
+// noise.Sampler.Sample). The frames slice is reused when capacities allow.
+func RoundFrames(g *lattice.Graph, defects []int32, frames []noise.Bitset) []noise.Bitset {
+	per := g.LayerVertices()
+	if cap(frames) < g.Rounds {
+		frames = make([]noise.Bitset, g.Rounds)
+	}
+	frames = frames[:g.Rounds]
+	for t := range frames {
+		frames[t].Resize(per)
+		frames[t].Clear()
+	}
+	for _, v := range defects {
+		t := int(v) / per
+		frames[t].Set(int(v) % per)
+	}
+	return frames
+}
+
+// Combine merges one round's Z-ancilla frame (X-error detection events) and
+// X-ancilla frame into a single 2d(d-1)-bit frame in the canonical layout
+// order. The two input frames must each have d(d-1) bits.
+func Combine(l *Layout, zFrame, xFrame noise.Bitset, out *noise.Bitset) {
+	n := l.BitsPerType
+	if zFrame.Len() != n || xFrame.Len() != n {
+		panic("syndrome: frame size mismatch")
+	}
+	out.Resize(2 * n)
+	out.Clear()
+	for b := 0; b < n; b++ {
+		if zFrame.Get(b) {
+			out.Set(b)
+		}
+		if xFrame.Get(b) {
+			out.Set(n + b)
+		}
+	}
+}
+
+// Weight returns the number of non-trivial bits in frame.
+func Weight(frame noise.Bitset) int { return frame.PopCount() }

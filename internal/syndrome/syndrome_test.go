@@ -1,0 +1,194 @@
+package syndrome
+
+import (
+	"testing"
+	"testing/quick"
+
+	"afs/internal/lattice"
+	"afs/internal/noise"
+)
+
+func TestLayoutPositions(t *testing.T) {
+	for _, d := range []int{2, 3, 5, 11} {
+		l := NewLayout(d)
+		if l.BitsPerType != d*(d-1) {
+			t.Fatalf("d=%d: bits per type = %d, want %d", d, l.BitsPerType, d*(d-1))
+		}
+		if l.CombinedBits() != 2*d*(d-1) {
+			t.Fatalf("d=%d: combined bits wrong", d)
+		}
+		seen := map[[2]int]bool{}
+		for bit := 0; bit < l.CombinedBits(); bit++ {
+			i, j := l.GridPos(bit)
+			if i < 0 || j < 0 || i > 2*d-2 || j > 2*d-2 {
+				t.Fatalf("bit %d at (%d,%d) outside grid", bit, i, j)
+			}
+			if (i+j)%2 == 0 {
+				t.Fatalf("bit %d at (%d,%d) on a data-qubit cell", bit, i, j)
+			}
+			if seen[[2]int{i, j}] {
+				t.Fatalf("two bits at grid (%d,%d)", i, j)
+			}
+			seen[[2]int{i, j}] = true
+		}
+	}
+}
+
+func TestZBitXBitDisjointAndComplete(t *testing.T) {
+	d := 5
+	l := NewLayout(d)
+	used := make([]bool, l.CombinedBits())
+	for r := 0; r < d-1; r++ {
+		for c := 0; c < d; c++ {
+			b := l.ZBit(r, c)
+			if used[b] {
+				t.Fatalf("ZBit(%d,%d) duplicates", r, c)
+			}
+			used[b] = true
+			if i, j := l.GridPos(b); i != 2*r+1 || j != 2*c {
+				t.Fatalf("ZBit(%d,%d) at (%d,%d)", r, c, i, j)
+			}
+		}
+	}
+	for a := 0; a < d; a++ {
+		for b2 := 0; b2 < d-1; b2++ {
+			b := l.XBit(a, b2)
+			if used[b] {
+				t.Fatalf("XBit(%d,%d) duplicates", a, b2)
+			}
+			used[b] = true
+			if i, j := l.GridPos(b); i != 2*a || j != 2*b2+1 {
+				t.Fatalf("XBit(%d,%d) at (%d,%d)", a, b2, i, j)
+			}
+		}
+	}
+	for b, u := range used {
+		if !u {
+			t.Fatalf("bit %d unused", b)
+		}
+	}
+}
+
+func TestGeoOrderIsPermutation(t *testing.T) {
+	f := func(dRaw, tileRaw uint8) bool {
+		d := 3 + int(dRaw)%9
+		tile := 1 + int(tileRaw)%6
+		l := NewLayout(d)
+		perm := l.GeoOrder(tile)
+		seen := make([]bool, len(perm))
+		for _, p := range perm {
+			if p < 0 || p >= len(perm) || seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return len(perm) == l.CombinedBits()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeoOrderGroupsTiles(t *testing.T) {
+	d := 7
+	l := NewLayout(d)
+	tile := 4
+	perm := l.GeoOrder(tile)
+	// Walk bits in geo order; their tile ids must be non-decreasing.
+	order := make([]int, len(perm))
+	for bit, pos := range perm {
+		order[pos] = bit
+	}
+	side := 2*d - 1
+	ntx := (side + tile - 1) / tile
+	prev := -1
+	for _, bit := range order {
+		i, j := l.GridPos(bit)
+		tl := (i/tile)*ntx + j/tile
+		if tl < prev {
+			t.Fatalf("geo order visits tile %d after tile %d", tl, prev)
+		}
+		prev = tl
+	}
+}
+
+func TestRoundFrames(t *testing.T) {
+	g := lattice.New3D(5, 5)
+	per := g.LayerVertices()
+	defects := []int32{
+		int32(3),               // layer 0
+		int32(per + 1),         // layer 1
+		int32(per*4 + per - 1), // layer 4, last ancilla
+	}
+	frames := RoundFrames(g, defects, nil)
+	if len(frames) != 5 {
+		t.Fatalf("frames = %d, want 5", len(frames))
+	}
+	if !frames[0].Get(3) || frames[0].PopCount() != 1 {
+		t.Fatal("layer 0 frame wrong")
+	}
+	if !frames[1].Get(1) || frames[1].PopCount() != 1 {
+		t.Fatal("layer 1 frame wrong")
+	}
+	if !frames[4].Get(per-1) || frames[4].PopCount() != 1 {
+		t.Fatal("layer 4 frame wrong")
+	}
+	if frames[2].PopCount() != 0 || frames[3].PopCount() != 0 {
+		t.Fatal("empty layers not empty")
+	}
+	// Reuse must clear previous contents.
+	frames = RoundFrames(g, nil, frames)
+	for i := range frames {
+		if frames[i].PopCount() != 0 {
+			t.Fatalf("reused frame %d not cleared", i)
+		}
+	}
+}
+
+func TestRoundFramesTotalWeight(t *testing.T) {
+	g := lattice.New3D(7, 7)
+	s := noise.NewSampler(g, 0.01, 5, 6)
+	var trial noise.Trial
+	var frames []noise.Bitset
+	for i := 0; i < 200; i++ {
+		s.Sample(&trial)
+		frames = RoundFrames(g, trial.Defects, frames)
+		total := 0
+		for _, f := range frames {
+			total += Weight(f)
+		}
+		if total != len(trial.Defects) {
+			t.Fatalf("frame weights sum to %d, want %d", total, len(trial.Defects))
+		}
+	}
+}
+
+func TestCombine(t *testing.T) {
+	d := 5
+	l := NewLayout(d)
+	z := noise.NewBitset(l.BitsPerType)
+	x := noise.NewBitset(l.BitsPerType)
+	z.Set(2)
+	x.Set(7)
+	var out noise.Bitset
+	Combine(l, z, x, &out)
+	if out.Len() != l.CombinedBits() || out.PopCount() != 2 {
+		t.Fatalf("combined frame wrong: len %d popcount %d", out.Len(), out.PopCount())
+	}
+	if !out.Get(2) || !out.Get(l.BitsPerType+7) {
+		t.Fatal("combined bit positions wrong")
+	}
+}
+
+func TestCombineSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched frames did not panic")
+		}
+	}()
+	l := NewLayout(5)
+	z := noise.NewBitset(3)
+	x := noise.NewBitset(l.BitsPerType)
+	var out noise.Bitset
+	Combine(l, z, x, &out)
+}

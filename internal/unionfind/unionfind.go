@@ -1,0 +1,166 @@
+// Package unionfind implements the array-based disjoint-set forest used by
+// the Gr-Gen stage of the AFS decoder. It mirrors the hardware structures
+// described in the paper: a Root Table (parent pointers), a Size Table
+// (weighted union), and tree-traversal registers that record the vertices
+// visited by Find so the hardware can path-compress them in bulk.
+//
+// The implementation counts Root/Size table reads and writes so the
+// micro-architecture model can charge memory-access latency for them.
+package unionfind
+
+// Forest is a disjoint-set forest over n elements with union by size and
+// path compression. The zero value is not usable; construct with New.
+type Forest struct {
+	parent []int32
+	size   []int32
+
+	// traversal emulates the hardware tree-traversal registers: the
+	// vertices visited during the most recent Find, recorded so they can be
+	// re-pointed at the root (path compression) exactly as the Gr-Gen does.
+	traversal []int32
+
+	// Access counters (Root Table and Size Table reads/writes) consumed by
+	// the micro-architecture latency model.
+	RootReads  uint64
+	RootWrites uint64
+	SizeReads  uint64
+	SizeWrites uint64
+}
+
+// New returns a forest of n singleton sets.
+func New(n int) *Forest {
+	f := &Forest{
+		parent:    make([]int32, n),
+		size:      make([]int32, n),
+		traversal: make([]int32, 0, 32),
+	}
+	f.Reset()
+	return f
+}
+
+// Len returns the number of elements in the forest.
+func (f *Forest) Len() int { return len(f.parent) }
+
+// Reset restores every element to a singleton set and clears the access
+// counters. It allows a decoder instance to be reused across syndromes
+// without reallocating, which is what the hardware does between logical
+// cycles.
+func (f *Forest) Reset() {
+	for i := range f.parent {
+		f.parent[i] = int32(i)
+		f.size[i] = 1
+	}
+	f.RootReads, f.RootWrites = 0, 0
+	f.SizeReads, f.SizeWrites = 0, 0
+}
+
+// Find returns the representative of x, path-compressing every vertex
+// visited along the way (recorded in the traversal registers first, then
+// written back, as in the hardware design).
+func (f *Forest) Find(x int32) int32 {
+	f.traversal = f.traversal[:0]
+	for {
+		p := f.parent[x]
+		f.RootReads++
+		if p == x {
+			break
+		}
+		f.traversal = append(f.traversal, x)
+		x = p
+	}
+	// Bulk path compression from the traversal registers.
+	for _, v := range f.traversal {
+		if f.parent[v] != x {
+			f.parent[v] = x
+			f.RootWrites++
+		}
+	}
+	return x
+}
+
+// FindNoCompress returns the representative of x without modifying the
+// forest. It exists for the ablation study of path compression.
+func (f *Forest) FindNoCompress(x int32) int32 {
+	for {
+		p := f.parent[x]
+		f.RootReads++
+		if p == x {
+			return x
+		}
+		x = p
+	}
+}
+
+// Union merges the sets containing a and b and returns the representative
+// of the merged set. Union by size: the smaller tree is attached beneath
+// the larger one, minimizing Root Table updates (the optimization the
+// paper's Size Table exists for).
+func (f *Forest) Union(a, b int32) int32 {
+	ra, rb := f.Find(a), f.Find(b)
+	if ra == rb {
+		return ra
+	}
+	f.SizeReads += 2
+	if f.size[ra] < f.size[rb] {
+		ra, rb = rb, ra
+	}
+	f.parent[rb] = ra
+	f.RootWrites++
+	f.size[ra] += f.size[rb]
+	f.SizeWrites++
+	return ra
+}
+
+// UnionUnweighted merges without consulting the Size Table (always attaches
+// b's root under a's root). It exists for the ablation study of weighted
+// union.
+func (f *Forest) UnionUnweighted(a, b int32) int32 {
+	ra, rb := f.Find(a), f.Find(b)
+	if ra == rb {
+		return ra
+	}
+	f.parent[rb] = ra
+	f.RootWrites++
+	f.size[ra] += f.size[rb]
+	return ra
+}
+
+// UnionRoots merges the sets whose representatives are ra and rb (both must
+// currently be roots) and returns the surviving representative. It performs
+// union by size without the internal Find calls of Union, for callers that
+// already hold the roots.
+func (f *Forest) UnionRoots(ra, rb int32) int32 {
+	if ra == rb {
+		return ra
+	}
+	f.SizeReads += 2
+	if f.size[ra] < f.size[rb] {
+		ra, rb = rb, ra
+	}
+	f.parent[rb] = ra
+	f.RootWrites++
+	f.size[ra] += f.size[rb]
+	f.SizeWrites++
+	return ra
+}
+
+// UnionRootsUnweighted merges root rb under root ra unconditionally. It
+// exists for the ablation study of weighted union.
+func (f *Forest) UnionRootsUnweighted(ra, rb int32) int32 {
+	if ra == rb {
+		return ra
+	}
+	f.parent[rb] = ra
+	f.RootWrites++
+	f.size[ra] += f.size[rb]
+	return ra
+}
+
+// Size returns the number of elements in the set containing x.
+func (f *Forest) Size(x int32) int32 {
+	f.SizeReads++
+	return f.size[f.Find(x)]
+}
+
+// Same reports whether a and b are in the same set.
+func (f *Forest) Same(a, b int32) bool { return f.Find(a) == f.Find(b) }

@@ -1,0 +1,119 @@
+package afs
+
+import (
+	"afs/internal/lattice"
+)
+
+// ErrorType selects which Pauli error component a decoder handles. X and Z
+// errors are corrected independently on a surface code (Y errors are the
+// two combined), each by its own decoder — which is why every logical
+// qubit carries two AFS decoders (paper §IV-F).
+type ErrorType uint8
+
+const (
+	// XErrors are bit flips, detected by Z-type ancillas.
+	XErrors ErrorType = iota
+	// ZErrors are phase flips, detected by X-type ancillas. The Z-error
+	// decoding graph is the 90-degree-rotated congruent twin of the
+	// X-error graph, so both decoders run on identical structures.
+	ZErrors
+)
+
+func (t ErrorType) String() string {
+	if t == ZErrors {
+		return "Z"
+	}
+	return "X"
+}
+
+// LogicalQubit bundles the decoder pair of one logical qubit: an X-error
+// engine and a Z-error engine, as the hardware provisions them. Not safe
+// for concurrent use.
+type LogicalQubit struct {
+	engines [2]*Engine
+}
+
+// NewLogicalQubit builds both decoders for a distance-d logical qubit.
+func NewLogicalQubit(distance int, opts ...Option) *LogicalQubit {
+	return &LogicalQubit{engines: [2]*Engine{
+		New(distance, opts...),
+		New(distance, opts...),
+	}}
+}
+
+// Engine returns the decoder engine for one error type.
+func (q *LogicalQubit) Engine(t ErrorType) *Engine { return q.engines[t] }
+
+// Distance returns the code distance.
+func (q *LogicalQubit) Distance() int { return q.engines[0].Distance() }
+
+// Memory returns the decoder pair's hardware memory (paper Table I).
+func (q *LogicalQubit) Memory() MemoryBreakdown {
+	return MemoryPerQubit(q.Distance())
+}
+
+// CycleResult is the outcome of decoding one logical cycle on both bases.
+type CycleResult struct {
+	X, Z Result
+	// LatencyNS is the cycle's decode latency: the slower of the two
+	// decoders (they run in parallel on dedicated hardware).
+	LatencyNS float64
+}
+
+// LogicalError reports whether either basis suffered a logical error
+// (meaningful only for sampled syndromes).
+func (r *CycleResult) LogicalError() bool {
+	return (r.X.Checked && r.X.LogicalError) || (r.Z.Checked && r.Z.LogicalError)
+}
+
+// DecodeCycle decodes one logical cycle: the X syndrome on the X engine
+// and the Z syndrome on the Z engine.
+func (q *LogicalQubit) DecodeCycle(x, z *Syndrome) CycleResult {
+	rx := q.engines[XErrors].Decode(x)
+	rz := q.engines[ZErrors].Decode(z)
+	lat := rx.LatencyNS
+	if rz.LatencyNS > lat {
+		lat = rz.LatencyNS
+	}
+	return CycleResult{X: rx, Z: rz, LatencyNS: lat}
+}
+
+// QubitSampler draws correlated-in-time but independent X/Z syndrome pairs
+// for a LogicalQubit under the phenomenological model.
+type QubitSampler struct {
+	x, z *Sampler
+}
+
+// NewSampler creates a syndrome-pair sampler at physical error rate p.
+func (q *LogicalQubit) NewSampler(p float64, seed uint64) *QubitSampler {
+	return &QubitSampler{
+		x: q.engines[XErrors].NewSampler(p, seed),
+		z: q.engines[ZErrors].NewSampler(p, seed^0x51de),
+	}
+}
+
+// Sample draws the next cycle's syndrome pair.
+func (s *QubitSampler) Sample(x, z *Syndrome) {
+	s.x.Sample(x)
+	s.z.Sample(z)
+}
+
+// CorrectionSummary classifies a correction's edges.
+type CorrectionSummary struct {
+	DataFixes        int
+	MeasurementFlags int
+}
+
+// Summarize classifies the edges of a Result's correction against the
+// engine's graph.
+func (e *Engine) Summarize(r Result) CorrectionSummary {
+	var s CorrectionSummary
+	for _, ei := range r.Correction {
+		if e.g.Edges[ei].Kind == lattice.Spatial {
+			s.DataFixes++
+		} else {
+			s.MeasurementFlags++
+		}
+	}
+	return s
+}

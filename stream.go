@@ -1,0 +1,53 @@
+package afs
+
+import (
+	"afs/internal/lattice"
+	"afs/internal/stream"
+)
+
+// StreamCorrection is one finalized decoding decision of a streaming
+// decoder, in global round coordinates.
+type StreamCorrection = stream.Correction
+
+// StreamDecoder decodes an unbounded stream of syndrome rounds with
+// sliding decoding windows — the continuous-operation mode a deployed AFS
+// decoder runs in. Rounds are fed with PushRound; corrections become final
+// window by window and are retrieved with Committed or, at the end of the
+// stream, Flush.
+type StreamDecoder struct {
+	inner *stream.Decoder
+}
+
+// NewStreamDecoder creates a streaming decoder for a distance-d logical
+// qubit. window is the number of rounds decoded together (0 selects d,
+// the paper's logical cycle) and commit how many are finalized per slide
+// (0 selects window/2; must stay below window).
+func NewStreamDecoder(distance, window, commit int) (*StreamDecoder, error) {
+	inner, err := stream.New(distance, window, commit)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamDecoder{inner: inner}, nil
+}
+
+// Distance returns the code distance.
+func (s *StreamDecoder) Distance() int { return s.inner.Distance }
+
+// Window returns the decoding-window length in rounds.
+func (s *StreamDecoder) Window() int { return s.inner.Window }
+
+// PushRound feeds one round's detection events (per-round ancilla indices
+// in [0, d(d-1))). The slice is copied.
+func (s *StreamDecoder) PushRound(events []int32) { s.inner.PushLayer(events) }
+
+// Committed returns the corrections finalized so far.
+func (s *StreamDecoder) Committed() []StreamCorrection { return s.inner.Committed() }
+
+// Flush ends the stream (its final round is taken as perfectly measured),
+// decodes the remaining buffered rounds, and returns every committed
+// correction. The decoder is reusable afterwards.
+func (s *StreamDecoder) Flush() []StreamCorrection { return s.inner.Flush() }
+
+// IsDataCorrection reports whether c fixes a data qubit (as opposed to
+// flagging a measurement error).
+func IsDataCorrection(c StreamCorrection) bool { return c.Kind == lattice.Spatial }

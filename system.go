@@ -1,0 +1,139 @@
+package afs
+
+import (
+	"fmt"
+
+	"afs/internal/bandwidth"
+	"afs/internal/compress"
+	"afs/internal/storage"
+)
+
+// MemoryBreakdown is decoder memory by hardware component, in bits.
+type MemoryBreakdown struct {
+	STMBits   int64
+	RootBits  int64
+	SizeBits  int64
+	StackBits int64
+}
+
+// TotalBits sums the components.
+func (m MemoryBreakdown) TotalBits() int64 {
+	return m.STMBits + m.RootBits + m.SizeBits + m.StackBits
+}
+
+// TotalKB returns the total in kibibytes.
+func (m MemoryBreakdown) TotalKB() float64 { return storage.KB(m.TotalBits()) }
+
+// TotalMB returns the total in mebibytes.
+func (m MemoryBreakdown) TotalMB() float64 { return storage.MB(m.TotalBits()) }
+
+// MemoryPerQubit returns the decoder memory of one distance-d logical qubit
+// (X and Z decoders), reproducing paper Table I.
+func MemoryPerQubit(d int) MemoryBreakdown {
+	q := storage.ForQubit(d)
+	return MemoryBreakdown{q.STMBits, q.RootBits, q.SizeBits, q.StackBits}
+}
+
+// SystemMemory returns the decoder memory of an FTQC with l distance-d
+// logical qubits, with dedicated decoders or with the Conjoined-Decoder
+// Architecture, reproducing paper Table II and Figure 9.
+func SystemMemory(l, d int, cdaEnabled bool) MemoryBreakdown {
+	s := storage.ForSystem(l, d, cdaEnabled)
+	return MemoryBreakdown{s.STMBits, s.RootBits, s.SizeBits, s.StackBits}
+}
+
+// CDAMemoryReduction returns the factor by which CDA shrinks decoder memory
+// for an l-qubit, distance-d system (the paper reports 3.5x at l=1000,
+// d=11).
+func CDAMemoryReduction(l, d int) float64 { return storage.Reduction(l, d) }
+
+// SyndromeBitsPerRound returns the syndrome bits generated per measurement
+// round by l distance-d logical qubits: 2d(d-1) per qubit.
+func SyndromeBitsPerRound(l, d int) int64 { return bandwidth.BitsPerRound(l, d) }
+
+// RequiredBandwidthGbps returns the aggregate qubit-to-decoder bandwidth
+// needed to transmit one round's syndromes within windowNS nanoseconds
+// (paper Fig. 13; 550 Gbps at l=1000, d=11, 400 ns).
+func RequiredBandwidthGbps(l, d int, windowNS float64) float64 {
+	return bandwidth.RequiredGbps(l, d, windowNS)
+}
+
+// CompressedBandwidthGbps applies a compression ratio to the requirement.
+func CompressedBandwidthGbps(l, d int, windowNS, ratio float64) float64 {
+	return bandwidth.CompressedGbps(l, d, windowNS, ratio)
+}
+
+// CompressionConfig describes a Syndrome Compression measurement.
+type CompressionConfig struct {
+	// Distance is the code distance d.
+	Distance int
+	// P is the physical error rate.
+	P float64
+	// Trials is the number of logical cycles sampled (each contributes d
+	// per-round frames).
+	Trials int
+	// Seed makes the run reproducible.
+	Seed uint64
+	// Workers bounds parallelism; 0 uses all CPUs.
+	Workers int
+	// DZCWidth and GeoTile tune the schemes (0 selects the defaults:
+	// 8-bit DZC blocks, 4x4-grid geo tiles).
+	DZCWidth, GeoTile int
+}
+
+// CompressionResult reports how well Syndrome Compression performs.
+type CompressionResult struct {
+	Distance int
+	P        float64
+	// Frames is the number of per-round frames measured.
+	Frames uint64
+	// MeanRatio is the average per-frame compression ratio of the hybrid
+	// scheme (the paper reports ~30x at d=11, p=1e-3).
+	MeanRatio float64
+	// AggregateRatio is total raw bits over total compressed bits — the
+	// reduction a transmission link actually sees.
+	AggregateRatio float64
+	// MeanRatioDZC, MeanRatioSparse, MeanRatioGeo report each scheme used
+	// alone.
+	MeanRatioDZC, MeanRatioSparse, MeanRatioGeo float64
+	// WinsDZC, WinsSparse, WinsGeo count how often the hybrid selector
+	// chose each scheme.
+	WinsDZC, WinsSparse, WinsGeo uint64
+	// MeanFrameWeight is the average number of non-trivial syndrome bits
+	// per frame (the sparsity compression exploits).
+	MeanFrameWeight float64
+}
+
+// MeasureCompression samples syndromes for both error types and measures
+// the compression ratio of each scheme and of the hybrid selector
+// (paper Fig. 15).
+func MeasureCompression(cfg CompressionConfig) (CompressionResult, error) {
+	if cfg.Distance < 2 {
+		return CompressionResult{}, fmt.Errorf("afs: distance %d < 2", cfg.Distance)
+	}
+	if cfg.Trials <= 0 {
+		return CompressionResult{}, fmt.Errorf("afs: trials must be positive")
+	}
+	r := compress.RunExperiment(compress.ExperimentConfig{
+		Distance: cfg.Distance,
+		P:        cfg.P,
+		Trials:   cfg.Trials,
+		Seed:     cfg.Seed,
+		Workers:  cfg.Workers,
+		Cfg:      compress.Config{DZCWidth: cfg.DZCWidth, GeoTile: cfg.GeoTile},
+	})
+	return CompressionResult{
+		Distance:        r.Distance,
+		P:               r.P,
+		Frames:          r.Frames,
+		MeanRatio:       r.MeanRatioHybrid,
+		AggregateRatio:  r.AggregateRatio,
+		MeanRatioDZC:    r.MeanRatio[compress.DZC],
+		MeanRatioSparse: r.MeanRatio[compress.Sparse],
+		MeanRatioGeo:    r.MeanRatio[compress.Geo],
+		WinsDZC:         r.SchemeWins[compress.DZC],
+		WinsSparse:      r.SchemeWins[compress.Sparse],
+		WinsGeo:         r.SchemeWins[compress.Geo],
+		MeanFrameWeight: r.MeanWeight,
+	}, nil
+}

@@ -1,0 +1,164 @@
+package afs
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// System manages the decoding subsystem of an FTQC with many logical
+// qubits: a decoder pair per qubit, concurrent per-cycle decoding across a
+// worker pool, and aggregate accuracy/latency accounting. It is the
+// library-level counterpart of the paper's system studies (§V): the models
+// in MemoryPerQubit/SystemMemory size the hardware, and System actually
+// runs the fleet in simulation.
+type System struct {
+	qubits   []*LogicalQubit
+	samplers []*QubitSampler
+	workers  int
+
+	// Stats accumulate across RunCycles calls.
+	Cycles         uint64
+	LogicalErrors  uint64
+	maxLatencyNS   float64
+	totalLatencyNS float64
+	mu             sync.Mutex
+}
+
+// SystemConfig configures a System.
+type SystemConfig struct {
+	// LogicalQubits is the fleet size L.
+	LogicalQubits int
+	// Distance is the code distance d.
+	Distance int
+	// P is the physical error rate of every qubit.
+	P float64
+	// Seed makes the whole fleet reproducible.
+	Seed uint64
+	// Workers bounds decode parallelism; 0 selects GOMAXPROCS.
+	Workers int
+	// EngineOptions apply to every decoder.
+	EngineOptions []Option
+}
+
+// NewSystem builds the fleet.
+func NewSystem(cfg SystemConfig) (*System, error) {
+	if cfg.LogicalQubits < 1 {
+		return nil, fmt.Errorf("afs: system needs at least one logical qubit")
+	}
+	if cfg.Distance < 2 {
+		return nil, fmt.Errorf("afs: distance %d < 2", cfg.Distance)
+	}
+	if cfg.P < 0 || cfg.P >= 1 {
+		return nil, fmt.Errorf("afs: physical error rate %v outside [0,1)", cfg.P)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.LogicalQubits {
+		workers = cfg.LogicalQubits
+	}
+	s := &System{workers: workers}
+	for i := 0; i < cfg.LogicalQubits; i++ {
+		q := NewLogicalQubit(cfg.Distance, cfg.EngineOptions...)
+		s.qubits = append(s.qubits, q)
+		s.samplers = append(s.samplers, q.NewSampler(cfg.P, cfg.Seed+uint64(i)*0x9e37))
+	}
+	return s, nil
+}
+
+// Size returns the number of logical qubits.
+func (s *System) Size() int { return len(s.qubits) }
+
+// Qubit exposes one logical qubit (for inspection; decoding through
+// RunCycles must not run concurrently with direct use).
+func (s *System) Qubit(i int) *LogicalQubit { return s.qubits[i] }
+
+// RunCycles simulates n logical cycles of the whole fleet: every qubit
+// samples its X/Z syndromes and decodes them, qubits spread across the
+// worker pool. Returns the number of qubit-cycles that suffered a logical
+// error.
+func (s *System) RunCycles(n int) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	var wg sync.WaitGroup
+	errsPer := make([]uint64, s.workers)
+	latSum := make([]float64, s.workers)
+	latMax := make([]float64, s.workers)
+	for w := 0; w < s.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var x, z Syndrome
+			for i := w; i < len(s.qubits); i += s.workers {
+				q, sp := s.qubits[i], s.samplers[i]
+				for c := 0; c < n; c++ {
+					sp.Sample(&x, &z)
+					res := q.DecodeCycle(&x, &z)
+					if res.LogicalError() {
+						errsPer[w]++
+					}
+					latSum[w] += res.LatencyNS
+					if res.LatencyNS > latMax[w] {
+						latMax[w] = res.LatencyNS
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var errs uint64
+	var sum, max float64
+	for w := 0; w < s.workers; w++ {
+		errs += errsPer[w]
+		sum += latSum[w]
+		if latMax[w] > max {
+			max = latMax[w]
+		}
+	}
+	s.mu.Lock()
+	s.Cycles += uint64(n) * uint64(len(s.qubits))
+	s.LogicalErrors += errs
+	s.totalLatencyNS += sum
+	if max > s.maxLatencyNS {
+		s.maxLatencyNS = max
+	}
+	s.mu.Unlock()
+	return errs
+}
+
+// LogicalErrorRate returns logical errors per qubit-cycle so far.
+func (s *System) LogicalErrorRate() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.LogicalErrors) / float64(s.Cycles)
+}
+
+// MeanLatencyNS returns the mean per-cycle decode latency so far.
+func (s *System) MeanLatencyNS() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.Cycles == 0 {
+		return 0
+	}
+	return s.totalLatencyNS / float64(s.Cycles)
+}
+
+// MaxLatencyNS returns the worst per-cycle decode latency observed.
+func (s *System) MaxLatencyNS() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.maxLatencyNS
+}
+
+// Memory returns the fleet's decoder memory (dedicated decoders; apply
+// SystemMemory with cda=true for the Conjoined-Decoder Architecture).
+func (s *System) Memory() MemoryBreakdown {
+	return SystemMemory(len(s.qubits), s.qubits[0].Distance(), false)
+}
