@@ -51,14 +51,26 @@ type AccuracyConfig struct {
 	Repeated2D bool
 	// DecoderOptions selects Union-Find ablation variants.
 	DecoderOptions core.Options
+	// StopRelCI, when positive, enables adaptive early stopping: the run
+	// ends once the 95% CI half-width falls to StopRelCI times the
+	// observed rate (see montecarlo.AccuracyConfig.StopRelCI). 0 runs the
+	// full trial budget. Ignored by Repeated2D.
+	StopRelCI float64
+	// StopMinFailures gates early stopping until this many failures have
+	// been seen; 0 selects the engine default.
+	StopMinFailures uint64
 }
 
 // AccuracyResult is the outcome of MeasureLogicalErrorRate.
 type AccuracyResult struct {
-	Distance         int
-	Rounds           int
-	P                float64
+	Distance int
+	Rounds   int
+	P        float64
+	// Trials is the number executed; with early stopping it can be below
+	// TrialsRequested.
 	Trials           uint64
+	TrialsRequested  uint64
+	EarlyStopped     bool
 	Failures         uint64
 	LogicalErrorRate float64
 	// CILow and CIHigh bound the rate at 95% confidence (bootstrap).
@@ -71,7 +83,10 @@ type AccuracyResult struct {
 func (c AccuracyConfig) factory() (montecarlo.Factory, error) {
 	switch c.Decoder {
 	case "", UnionFind:
+		// Accuracy runs consume only the correction, so skip the per-decode
+		// execution profile the latency model would need.
 		opts := c.DecoderOptions
+		opts.LeanStats = true
 		return func(g *lattice.Graph) montecarlo.Decoder {
 			return core.NewDecoder(g, opts)
 		}, nil
@@ -81,6 +96,7 @@ func (c AccuracyConfig) factory() (montecarlo.Factory, error) {
 		}, nil
 	case Hierarchical:
 		opts := c.DecoderOptions
+		opts.LeanStats = true
 		return func(g *lattice.Graph) montecarlo.Decoder {
 			return hierarchical.New(g, core.NewDecoder(g, opts))
 		}, nil
@@ -93,9 +109,9 @@ func (c AccuracyConfig) factory() (montecarlo.Factory, error) {
 		}
 		var probe *lattice.Graph
 		if rounds == 1 {
-			probe = lattice.New2D(c.Distance)
+			probe = lattice.Cached2D(c.Distance)
 		} else {
-			probe = lattice.New3D(c.Distance, rounds)
+			probe = lattice.Cached3D(c.Distance, rounds)
 		}
 		if _, err := lut.New(probe); err != nil {
 			return nil, err
@@ -126,13 +142,15 @@ func MeasureLogicalErrorRate(cfg AccuracyConfig) (AccuracyResult, error) {
 		return AccuracyResult{}, err
 	}
 	mcCfg := montecarlo.AccuracyConfig{
-		Distance: cfg.Distance,
-		Rounds:   cfg.Rounds,
-		P:        cfg.P,
-		Trials:   cfg.Trials,
-		Workers:  cfg.Workers,
-		Seed:     cfg.Seed,
-		New:      factory,
+		Distance:        cfg.Distance,
+		Rounds:          cfg.Rounds,
+		P:               cfg.P,
+		Trials:          cfg.Trials,
+		Workers:         cfg.Workers,
+		Seed:            cfg.Seed,
+		New:             factory,
+		StopRelCI:       cfg.StopRelCI,
+		StopMinFailures: cfg.StopMinFailures,
 	}
 	var r montecarlo.AccuracyResult
 	if cfg.Repeated2D {
@@ -145,6 +163,8 @@ func MeasureLogicalErrorRate(cfg AccuracyConfig) (AccuracyResult, error) {
 		Rounds:             r.Rounds,
 		P:                  r.P,
 		Trials:             r.Trials,
+		TrialsRequested:    r.TrialsRequested,
+		EarlyStopped:       r.EarlyStopped,
 		Failures:           r.Failures,
 		LogicalErrorRate:   r.LogicalErrorRate,
 		CILow:              r.CI.Lo,

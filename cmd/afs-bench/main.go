@@ -1,0 +1,271 @@
+// Command afs-bench measures the performance of the Monte-Carlo decoding
+// pipeline and writes a machine-readable report so every PR leaves a
+// perf trajectory behind. It runs:
+//
+//   - micro benchmarks: ns per steady-state Sample+Decode at the paper's
+//     design point (d=11, p=1e-3) and near threshold, plus a heap audit
+//     (allocations per operation, which must be zero in steady state);
+//   - a macro benchmark: one multi-point accuracy sweep executed twice —
+//     through the retained legacy executor (per-point graph builds, static
+//     per-worker striping, a join barrier per point) and through the
+//     work-stealing engine — reporting trials/sec and the speedup;
+//   - an early-stopping demonstration: the same sweep with an adaptive
+//     CI-driven stop, reporting the fraction of the trial budget saved.
+//
+// Usage:
+//
+//	afs-bench [-out BENCH_1.json] [-trials N] [-workers W] [-quick]
+//	          [-ref-tps T] [-ref-label L]
+//
+// -ref-tps records an externally measured reference throughput (for
+// example, the repository's seed commit rebuilt and timed on the same
+// machine) so the report can state a before/after speedup with provenance.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"afs"
+	"afs/internal/core"
+	"afs/internal/lattice"
+	"afs/internal/montecarlo"
+	"afs/internal/noise"
+)
+
+// report is the schema of BENCH_N.json. Field names are stable: future
+// PRs append new files (BENCH_2.json, ...) and diff against old ones.
+type report struct {
+	BenchVersion int    `json:"bench_version"`
+	GeneratedBy  string `json:"generated_by"`
+	GoVersion    string `json:"go_version"`
+	GOMAXPROCS   int    `json:"gomaxprocs"`
+	Quick        bool   `json:"quick,omitempty"`
+
+	Micro struct {
+		DesignPoint  benchPoint `json:"design_point"`   // d=11, p=1e-3
+		Threshold    benchPoint `json:"near_threshold"` // d=7, p=2e-2
+		SampleOnlyNS float64    `json:"sample_only_ns_per_op"`
+	} `json:"micro"`
+
+	Macro struct {
+		Distances       []int     `json:"distances"`
+		Ps              []float64 `json:"ps"`
+		TrialsPerPoint  uint64    `json:"trials_per_point"`
+		Workers         int       `json:"workers"`
+		ChunkTrials     uint64    `json:"chunk_trials"`
+		LegacySecs      float64   `json:"legacy_sequential_secs"`
+		LegacyTPS       float64   `json:"legacy_sequential_trials_per_sec"`
+		EngineSecs      float64   `json:"engine_secs"`
+		EngineTPS       float64   `json:"engine_trials_per_sec"`
+		SpeedupVsLegacy float64   `json:"speedup_vs_legacy"`
+	} `json:"macro"`
+
+	EarlyStop struct {
+		Distances       []int     `json:"distances"`
+		Ps              []float64 `json:"ps"`
+		StopRelCI       float64   `json:"stop_rel_ci"`
+		TrialsRequested uint64    `json:"trials_requested"`
+		TrialsExecuted  uint64    `json:"trials_executed"`
+		PointsStopped   int       `json:"points_stopped"`
+		Points          int       `json:"points"`
+		SavingsFactor   float64   `json:"savings_factor"`
+		Secs            float64   `json:"secs"`
+	} `json:"early_stop"`
+
+	Reference *reference `json:"reference,omitempty"`
+}
+
+type benchPoint struct {
+	Distance      int     `json:"d"`
+	P             float64 `json:"p"`
+	NSPerOp       float64 `json:"sample_decode_ns_per_op"`
+	AllocsPerOp   float64 `json:"sample_decode_allocs_per_op"`
+	ModelNSDecode float64 `json:"hw_model_ns_per_decode"`
+}
+
+type reference struct {
+	Label         string  `json:"label"`
+	TrialsPerSec  float64 `json:"sweep_trials_per_sec"`
+	SpeedupVsThis float64 `json:"engine_speedup_vs_reference"`
+}
+
+func main() {
+	var (
+		out      = flag.String("out", "BENCH_1.json", "output report path (\"-\" for stdout only)")
+		trialsN  = flag.Uint64("trials", 20000, "Monte-Carlo trials per sweep point")
+		workers  = flag.Int("workers", 0, "worker goroutines (0 = all CPUs)")
+		quick    = flag.Bool("quick", false, "shrink budgets ~10x for a smoke run")
+		refTPS   = flag.Float64("ref-tps", 0, "externally measured reference sweep trials/sec (for before/after)")
+		refLabel = flag.String("ref-label", "", "provenance of -ref-tps (e.g. a commit hash)")
+	)
+	flag.Parse()
+
+	var r report
+	r.BenchVersion = 1
+	r.GeneratedBy = "cmd/afs-bench"
+	r.GoVersion = runtime.Version()
+	r.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	r.Quick = *quick
+
+	trials := *trialsN
+	if *quick {
+		trials /= 10
+		if trials < 1000 {
+			trials = 1000
+		}
+	}
+
+	fmt.Println("== micro: steady-state Sample+Decode ==")
+	r.Micro.DesignPoint = microPoint(11, 1e-3)
+	r.Micro.Threshold = microPoint(7, 2e-2)
+	r.Micro.SampleOnlyNS = sampleOnly(11, 1e-3)
+	fmt.Printf("d=11 p=1e-3: %.0f ns/op, %.2f allocs/op (sample alone %.0f ns)\n",
+		r.Micro.DesignPoint.NSPerOp, r.Micro.DesignPoint.AllocsPerOp, r.Micro.SampleOnlyNS)
+	fmt.Printf("d=7  p=2e-2: %.0f ns/op, %.2f allocs/op\n",
+		r.Micro.Threshold.NSPerOp, r.Micro.Threshold.AllocsPerOp)
+
+	distances := []int{3, 5, 7, 9, 11}
+	ps := []float64{1e-3, 3e-3, 1e-2}
+	base := montecarlo.AccuracyConfig{
+		Trials:  trials,
+		Seed:    42,
+		Workers: *workers,
+		New: func(g *lattice.Graph) montecarlo.Decoder {
+			return core.NewDecoder(g, core.Options{LeanStats: true})
+		},
+	}
+	totalTrials := trials * uint64(len(distances)*len(ps))
+
+	fmt.Printf("\n== macro: %d-point sweep, %d trials/point ==\n", len(distances)*len(ps), trials)
+	t0 := time.Now()
+	montecarlo.SweepAccuracySequential(base, distances, ps)
+	legacySecs := time.Since(t0).Seconds()
+	t0 = time.Now()
+	montecarlo.SweepAccuracy(base, distances, ps)
+	engineSecs := time.Since(t0).Seconds()
+
+	r.Macro.Distances = distances
+	r.Macro.Ps = ps
+	r.Macro.TrialsPerPoint = trials
+	r.Macro.Workers = base.Workers
+	r.Macro.ChunkTrials = montecarlo.DefaultChunkTrials
+	r.Macro.LegacySecs = legacySecs
+	r.Macro.LegacyTPS = float64(totalTrials) / legacySecs
+	r.Macro.EngineSecs = engineSecs
+	r.Macro.EngineTPS = float64(totalTrials) / engineSecs
+	r.Macro.SpeedupVsLegacy = r.Macro.EngineTPS / r.Macro.LegacyTPS
+	fmt.Printf("legacy sequential: %8.0f trials/sec (%.2fs)\n", r.Macro.LegacyTPS, legacySecs)
+	fmt.Printf("work-stealing engine: %8.0f trials/sec (%.2fs), %.2fx vs legacy\n",
+		r.Macro.EngineTPS, engineSecs, r.Macro.SpeedupVsLegacy)
+
+	// Early stopping pays off where a point's rate is high enough that the
+	// CI converges long before a generous trial budget runs out, so the
+	// demonstration uses near-threshold points with a 10x budget rather
+	// than the macro sweep (whose low-rate points never converge at 10%).
+	stopDistances := []int{3, 5, 7}
+	stopPs := []float64{2e-2, 3e-2}
+	stopBudget := trials * 10
+	fmt.Printf("\n== early stopping (StopRelCI=0.1, %d trials/point requested) ==\n", stopBudget)
+	stopCfg := base
+	stopCfg.StopRelCI = 0.1
+	stopCfg.Trials = stopBudget
+	t0 = time.Now()
+	stopped := montecarlo.SweepAccuracy(stopCfg, stopDistances, stopPs)
+	r.EarlyStop.Secs = time.Since(t0).Seconds()
+	r.EarlyStop.Distances = stopDistances
+	r.EarlyStop.Ps = stopPs
+	r.EarlyStop.StopRelCI = stopCfg.StopRelCI
+	r.EarlyStop.Points = len(stopped)
+	for _, res := range stopped {
+		r.EarlyStop.TrialsRequested += res.TrialsRequested
+		r.EarlyStop.TrialsExecuted += res.Trials
+		if res.EarlyStopped {
+			r.EarlyStop.PointsStopped++
+		}
+	}
+	if r.EarlyStop.TrialsExecuted > 0 {
+		r.EarlyStop.SavingsFactor =
+			float64(r.EarlyStop.TrialsRequested) / float64(r.EarlyStop.TrialsExecuted)
+	}
+	fmt.Printf("executed %d of %d trials (%d/%d points stopped early): %.1fx budget saved\n",
+		r.EarlyStop.TrialsExecuted, r.EarlyStop.TrialsRequested,
+		r.EarlyStop.PointsStopped, r.EarlyStop.Points, r.EarlyStop.SavingsFactor)
+
+	if *refTPS > 0 {
+		r.Reference = &reference{
+			Label:         *refLabel,
+			TrialsPerSec:  *refTPS,
+			SpeedupVsThis: r.Macro.EngineTPS / *refTPS,
+		}
+		fmt.Printf("\nvs reference %q (%.0f trials/sec): %.2fx\n",
+			*refLabel, *refTPS, r.Reference.SpeedupVsThis)
+	}
+
+	buf, err := json.MarshalIndent(&r, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "afs-bench:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out != "-" {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "afs-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nreport written to %s\n", *out)
+	} else {
+		os.Stdout.Write(buf)
+	}
+}
+
+// microPoint times the full steady-state trial pipeline (sample, decode,
+// latency model, logical-error check) through the public Engine API and
+// audits its heap behavior.
+func microPoint(d int, p float64) benchPoint {
+	e := afs.New(d)
+	sp := e.NewSampler(p, 7)
+	var sy afs.Syndrome
+	for i := 0; i < 1000; i++ { // reach steady-state capacities
+		sp.Sample(&sy)
+		e.Decode(&sy)
+	}
+	var modelNS float64
+	var n int
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sp.Sample(&sy)
+			r := e.Decode(&sy)
+			modelNS += r.LatencyNS
+			n++
+		}
+	})
+	allocs := testing.AllocsPerRun(200, func() {
+		sp.Sample(&sy)
+		e.Decode(&sy)
+	})
+	return benchPoint{
+		Distance:      d,
+		P:             p,
+		NSPerOp:       float64(res.NsPerOp()),
+		AllocsPerOp:   allocs,
+		ModelNSDecode: modelNS / float64(n),
+	}
+}
+
+func sampleOnly(d int, p float64) float64 {
+	g := lattice.Cached3D(d, d)
+	s := noise.NewSampler(g, p, 7, 1)
+	var trial noise.Trial
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.Sample(&trial)
+		}
+	})
+	return float64(res.NsPerOp())
+}

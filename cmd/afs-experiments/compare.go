@@ -45,6 +45,7 @@ func runCompare() {
 			r, err := afs.MeasureLogicalErrorRate(afs.AccuracyConfig{
 				Distance: d, P: p, Trials: uint64(trials(40000)),
 				Seed: opts.seed + 50 + uint64(d), Workers: opts.workers,
+				StopRelCI: opts.stopRel,
 			})
 			if err != nil {
 				fmt.Fprintf(w, "err\t")

@@ -33,6 +33,7 @@ func runFig3() {
 			r, err := afs.MeasureLogicalErrorRate(afs.AccuracyConfig{
 				Distance: d, P: p, Rounds: 1, Trials: uint64(n),
 				Decoder: afs.MWPM, Seed: opts.seed + uint64(d), Workers: opts.workers,
+				StopRelCI: opts.stopRel,
 			})
 			if err != nil {
 				fmt.Fprintf(w, "err\t")

@@ -55,6 +55,7 @@ func runFig8() {
 		r, err := afs.MeasureLogicalErrorRate(afs.AccuracyConfig{
 			Distance: pt.d, P: pt.p, Trials: n,
 			Seed: opts.seed + uint64(pt.d)*7, Workers: opts.workers,
+			StopRelCI: opts.stopRel,
 		})
 		if err != nil {
 			fmt.Fprintf(w, "%d\t%.0e\terr: %v\n", pt.d, pt.p, err)

@@ -25,6 +25,7 @@ type options struct {
 	seed    uint64
 	workers int
 	csvDir  string
+	stopRel float64
 }
 
 var opts options
@@ -46,9 +47,10 @@ func main() {
 		seed    = flag.Uint64("seed", 2022, "base random seed")
 		workers = flag.Int("workers", 0, "worker goroutines (0 = all CPUs)")
 		csvDir  = flag.String("csv", "", "also write figure data series as CSV into this directory")
+		stopRel = flag.Float64("stoprel", 0, "stop each accuracy point once the 95% CI half-width falls to this fraction of the rate (0 = run the full budget)")
 	)
 	flag.Parse()
-	opts = options{scale: *scale, seed: *seed, workers: *workers, csvDir: *csvDir}
+	opts = options{scale: *scale, seed: *seed, workers: *workers, csvDir: *csvDir, stopRel: *stopRel}
 
 	all := !(*fig3 || *fig8 || *latency || *fig12 || *table1 || *table2 ||
 		*fig9 || *fig13 || *fig15 || *compare || *ext)

@@ -23,6 +23,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"afs/internal/lattice"
 	"afs/internal/unionfind"
@@ -36,6 +37,13 @@ type Options struct {
 	// DisablePathCompression turns off path compression (the tree-traversal
 	// registers).
 	DisablePathCompression bool
+	// LeanStats skips the per-decode execution profile — ZDR row tracking,
+	// growth-traffic counters, and per-cluster stats — leaving only
+	// NumDefects, GrowthRounds, SupportEdges and CorrectionEdges valid.
+	// Bulk Monte-Carlo accuracy runs enable it: they consume none of the
+	// profile, and the bookkeeping sits on the decode hot path. The
+	// micro-architecture latency model must run with it off.
+	LeanStats bool
 }
 
 // ClusterStat describes one peeled cluster; the micro-architecture latency
@@ -106,22 +114,73 @@ type Decoder struct {
 	stamp   []int32 // deduplication stamps for active-list rebuild
 	stampID int32
 
+	// adjMask[v] has bit s set iff v's s-th adjacent edge is not yet fully
+	// grown, so a growth sweep visits only growable edges instead of
+	// rescanning full ones every round. fullMask holds the pristine
+	// all-edges-growable masks. adjBase/adjFar/adjFarBit mirror the graph's
+	// adjacency rows: entry adjBase[v]+s holds the far endpoint of v's s-th
+	// adjacent edge and that endpoint's mask bit for the same edge, so
+	// filling an edge clears the far side's bit without loading the edge
+	// record. The virtual boundary vertex carries no mask (its degree
+	// exceeds the mask width, and growth never sweeps it); far entries that
+	// point at it use a zero bit, making the far clear a no-op.
+	adjMask   []uint16
+	fullMask  []uint16
+	adjBase   []int32
+	adjFar    []int32
+	adjFarBit []uint16
+
+	// Undo logs for the sparse reset: touchedEdges records every edge whose
+	// growth state left 0, and touchedVerts every vertex that joined a
+	// cluster (defects when marked, union-edge endpoints when merged).
+	// Cluster and Union-Find state is only ever modified on cluster members
+	// and the boundary vertex, so replaying the logs restores pristine state
+	// in O(work done) instead of O(V+E). resetStamp dedupes touchedVerts at
+	// insertion time, so the restore loop runs once per unique vertex.
+	touchedEdges []int32
+	touchedVerts []int32
+	resetStamp   []int32
+	resetEpoch   int32
+
+	// Pristine images for the bulk-reset path: identVert is the identity
+	// mapping (listHead/listTail at rest) and allNil is all nilList. When a
+	// dense syndrome grows support over most of the lattice, replaying the
+	// undo log costs more than rewriting every row with vectorized
+	// copies/clears; bulkThreshold is the crossover in touched-work units.
+	identVert     []int32
+	allNil        []int32
+	bulkThreshold int
+
+	// Spanning forest built during Gr-Gen: every merged edge whose endpoints
+	// were in distinct components at merge time is a tree edge, so the union
+	// step yields each cluster's spanning tree for free. treeAdjHead[v]
+	// heads a singly-linked list of adjacency slots (slot 2e is edge e in
+	// U's list, 2e+1 in V's); peeling walks these lists instead of scanning
+	// full lattice adjacency and growth state. treeAdjFar[s] is the static
+	// far endpoint of slot s (V for 2e, U for 2e+1), so the walk never
+	// consults the edge records.
+	treeAdjHead []int32
+	treeAdjNext []int32
+	treeAdjFar  []int32
+
 	rowStamp []int32 // per 32-vertex STM row: ZDR occupancy stamps
 	rowEpoch int32
 
 	// Peeling state.
-	visited                         []bool
-	visitLog                        []int32
-	treeChild, treeParent, treeEdge []int32 // spanning-forest edges in DFS order
-	runtime                         []dfsFrame
+	visited  []bool
+	visitLog []int32
+	tree     []treeRec // spanning-forest edges in DFS order
+	runtime  []int32   // DFS Engine runtime stack (vertices)
 
 	correction []int32 // edge indices, reused across decodes
 	Stats      DecodeStats
 }
 
-type dfsFrame struct {
-	vertex     int32
-	parentEdge int32
+// treeRec is one oriented spanning-forest edge: child joined the tree from
+// parent via edge. One record per entry keeps the DFS append and the
+// reverse CORR sweep on a single contiguous stream.
+type treeRec struct {
+	child, parent, edge int32
 }
 
 const nilList = int32(-1)
@@ -130,22 +189,80 @@ const nilList = int32(-1)
 func NewDecoder(g *lattice.Graph, opts Options) *Decoder {
 	n := g.V + 1 // real vertices plus the virtual boundary vertex
 	d := &Decoder{
-		G:        g,
-		Opts:     opts,
-		uf:       unionfind.New(n),
-		growth:   make([]uint8, len(g.Edges)),
-		defect:   make([]bool, g.V),
-		parOdd:   make([]bool, n),
-		hasB:     make([]bool, n),
-		steps:    make([]int32, n),
-		nDef:     make([]int32, n),
-		listHead: make([]int32, n),
-		listTail: make([]int32, n),
-		listNext: make([]int32, n),
-		stamp:    make([]int32, n),
-		rowStamp: make([]int32, (g.V+31)/32),
-		visited:  make([]bool, n),
+		G:          g,
+		Opts:       opts,
+		uf:         unionfind.New(n),
+		growth:     make([]uint8, len(g.Edges)),
+		defect:     make([]bool, g.V),
+		parOdd:     make([]bool, n),
+		hasB:       make([]bool, n),
+		steps:      make([]int32, n),
+		nDef:       make([]int32, n),
+		listHead:   make([]int32, n),
+		listTail:   make([]int32, n),
+		listNext:   make([]int32, n),
+		stamp:      make([]int32, n),
+		resetStamp: make([]int32, n),
+		rowStamp:   make([]int32, (g.V+31)/32),
+		visited:    make([]bool, n),
 	}
+	// Establish the pristine state the sparse reset maintains: every vertex
+	// a singleton list, the boundary flagged. reset() only rewinds the
+	// entries the previous decode touched.
+	d.identVert = make([]int32, n)
+	d.allNil = make([]int32, n)
+	for i := 0; i < n; i++ {
+		d.identVert[i] = int32(i)
+		d.allNil[i] = nilList
+	}
+	copy(d.listHead, d.identVert)
+	copy(d.listTail, d.identVert)
+	copy(d.listNext, d.allNil)
+	d.treeAdjHead = make([]int32, n)
+	copy(d.treeAdjHead, d.allNil)
+	d.treeAdjNext = make([]int32, 2*len(g.Edges))
+	d.treeAdjFar = make([]int32, 2*len(g.Edges))
+	for e := range g.Edges {
+		d.treeAdjFar[2*e] = g.Edges[e].V
+		d.treeAdjFar[2*e+1] = g.Edges[e].U
+	}
+	d.adjMask = make([]uint16, n)
+	d.fullMask = make([]uint16, n)
+	d.adjBase = make([]int32, g.V)
+	b := g.Boundary()
+	// First pass: per-vertex masks, row bases, and each edge's slot bit at
+	// each endpoint.
+	slotAt := make(map[[2]int32]uint16) // (vertex, edge) -> slot bit
+	total := 0
+	for v := int32(0); v < int32(g.V); v++ {
+		adj := g.AdjacentEdges(v)
+		if len(adj) > 16 {
+			panic("core: vertex degree exceeds adjacency mask width")
+		}
+		d.fullMask[v] = uint16(1)<<uint(len(adj)) - 1
+		d.adjBase[v] = int32(total)
+		total += len(adj)
+		for s, e := range adj {
+			slotAt[[2]int32{v, e}] = 1 << uint(s)
+		}
+	}
+	// Second pass: each row entry holds the far endpoint and its mask bit
+	// for the shared edge (zero bit for the maskless boundary vertex).
+	d.adjFar = make([]int32, total)
+	d.adjFarBit = make([]uint16, total)
+	for v := int32(0); v < int32(g.V); v++ {
+		base := d.adjBase[v]
+		for s, e := range g.AdjacentEdges(v) {
+			far := g.Other(e, v)
+			d.adjFar[base+int32(s)] = far
+			if far != b {
+				d.adjFarBit[base+int32(s)] = slotAt[[2]int32{far, e}]
+			}
+		}
+	}
+	copy(d.adjMask, d.fullMask)
+	d.bulkThreshold = n
+	d.hasB[g.Boundary()] = true
 	return d
 }
 
@@ -167,48 +284,97 @@ func (d *Decoder) Decode(defects []int32) []int32 {
 
 func (d *Decoder) reset(defects []int32) {
 	d.Stats = DecodeStats{Clusters: d.Stats.Clusters[:0]}
-	d.uf.Reset()
-	for i := range d.growth {
-		d.growth[i] = 0
-	}
-	n := d.G.V + 1
-	for i := 0; i < n; i++ {
-		d.parOdd[i] = false
-		d.hasB[i] = false
-		d.steps[i] = 0
-		d.nDef[i] = 0
-		d.listHead[i] = int32(i)
-		d.listTail[i] = int32(i)
-		d.listNext[i] = nilList
-	}
 	b := d.G.Boundary()
+	if len(d.touchedEdges)+len(d.touchedVerts) >= d.bulkThreshold {
+		// Dense rewind: the previous support covered so much of the lattice
+		// that replaying the undo log would cost more than rewriting every
+		// row with vectorized clears and copies of the pristine images.
+		clear(d.growth)
+		clear(d.parOdd)
+		clear(d.hasB)
+		clear(d.steps)
+		clear(d.nDef)
+		copy(d.listHead, d.identVert)
+		copy(d.listTail, d.identVert)
+		copy(d.listNext, d.allNil)
+		copy(d.treeAdjHead, d.allNil)
+		copy(d.adjMask, d.fullMask)
+		d.uf.Reset()
+	} else {
+		// Sparse rewind: only state the previous decode touched needs
+		// restoring. Cluster and Union-Find state is only ever modified on
+		// cluster members — all logged in touchedVerts, each exactly once —
+		// and on the boundary vertex.
+		d.uf.ResetCounters()
+		for _, e := range d.touchedEdges {
+			d.growth[e] = 0
+		}
+		for _, v := range d.touchedVerts {
+			d.restoreVertex(v)
+		}
+		d.restoreVertex(b)
+	}
+	d.touchedEdges = d.touchedEdges[:0]
+	d.touchedVerts = d.touchedVerts[:0]
+	d.resetEpoch++
 	d.hasB[b] = true
 	d.rowEpoch++
+	lean := d.Opts.LeanStats
 	for _, v := range defects {
 		d.defect[v] = true
 		d.parOdd[v] = true
 		d.nDef[v] = 1
-		d.touchRow(v)
+		d.touch(v)
+		if !lean {
+			d.touchRow(v)
+		}
 	}
-	d.active = d.active[:0]
-	for _, v := range defects {
-		d.active = append(d.active, v)
-	}
+	d.active = append(d.active[:0], defects...)
 	d.correction = d.correction[:0]
+}
+
+// restoreVertex returns vertex v's cluster and Union-Find state to the
+// pristine post-construction values.
+func (d *Decoder) restoreVertex(v int32) {
+	d.parOdd[v] = false
+	d.hasB[v] = false
+	d.steps[v] = 0
+	d.nDef[v] = 0
+	d.listHead[v] = v
+	d.listTail[v] = v
+	d.listNext[v] = nilList
+	d.treeAdjHead[v] = nilList
+	d.adjMask[v] = d.fullMask[v]
+	d.uf.Reinit(v)
+}
+
+// touch logs v as a cluster member for the next sparse reset; the epoch
+// stamp makes the log duplicate-free.
+func (d *Decoder) touch(v int32) {
+	if d.resetStamp[v] != d.resetEpoch {
+		d.resetStamp[v] = d.resetEpoch
+		d.touchedVerts = append(d.touchedVerts, v)
+	}
 }
 
 func (d *Decoder) find(v int32) int32 {
 	if d.Opts.DisablePathCompression {
 		return d.uf.FindNoCompress(v)
 	}
+	if d.Opts.LeanStats {
+		return d.uf.FindQuiet(v)
+	}
 	return d.uf.Find(v)
 }
 
 func (d *Decoder) unionRoots(ra, rb int32) int32 {
 	var rn int32
-	if d.Opts.DisableWeightedUnion {
+	switch {
+	case d.Opts.DisableWeightedUnion:
 		rn = d.uf.UnionRootsUnweighted(ra, rb)
-	} else {
+	case d.Opts.LeanStats:
+		rn = d.uf.UnionRootsQuiet(ra, rb)
+	default:
 		rn = d.uf.UnionRoots(ra, rb)
 	}
 	rd := ra
@@ -237,15 +403,35 @@ func (d *Decoder) growClusters() {
 		for _, r := range d.active {
 			d.growOne(r)
 		}
+		// Each 0→1 transition appended to touchedEdges and each 1→2 to
+		// merged, so the STM write counters fall out of the log lengths
+		// without per-event increments on the hot path.
+		if len(d.merged) == 0 {
+			// Roots, parities, and boundary flags only change in the merge
+			// loop below, so a merge-free round (typical for the 0→1 half of
+			// the grow cadence) leaves the active list exactly as it was.
+			continue
+		}
+		d.Stats.GrowthIncrements += uint64(len(d.merged))
 		for _, e := range d.merged {
 			ed := &d.G.Edges[e]
 			ru, rv := d.find(ed.U), d.find(ed.V)
 			if ru != rv {
 				d.unionRoots(ru, rv)
+				// A merge between distinct components is a tree edge: the
+				// union step builds each cluster's spanning forest as a
+				// side effect, which is what peeling traverses.
+				d.touch(ed.U)
+				d.touch(ed.V)
+				d.treeAdjNext[2*e] = d.treeAdjHead[ed.U]
+				d.treeAdjHead[ed.U] = 2 * e
+				d.treeAdjNext[2*e+1] = d.treeAdjHead[ed.V]
+				d.treeAdjHead[ed.V] = 2*e + 1
 			}
 		}
 		d.rebuildActive()
 	}
+	d.Stats.GrowthIncrements += uint64(len(d.touchedEdges))
 }
 
 // growOne grows cluster r (a current root) by half an edge around every
@@ -254,33 +440,21 @@ func (d *Decoder) growClusters() {
 func (d *Decoder) growOne(r int32) {
 	d.steps[r]++
 	prev := nilList
+	lean := d.Opts.LeanStats
+	b := int32(d.G.V)
 	v := d.listHead[r]
 	for v != nilList {
 		nxt := d.listNext[v]
-		d.Stats.GrowthVisits++
-		if v != int32(d.G.V) { // cluster vertices light their ZDR row
-			d.touchRow(v)
-		}
-		grewAny := false
-		allFull := true
-		for _, e := range d.G.AdjacentEdges(v) {
-			switch d.growth[e] {
-			case 2:
-				continue
-			case 1:
-				d.growth[e] = 2
-				d.merged = append(d.merged, e)
-				d.Stats.GrowthIncrements++
-				grewAny = true
-			case 0:
-				d.growth[e] = 1
-				d.Stats.GrowthIncrements++
-				grewAny = true
-				allFull = false
+		if !lean {
+			d.Stats.GrowthVisits++
+			if v != b { // cluster vertices light their ZDR row
+				d.touchRow(v)
 			}
 		}
-		if !grewAny && allFull {
-			// Interior vertex: unlink so later sweeps skip it.
+		m := d.adjMask[v]
+		if m == 0 {
+			// Interior vertex (every incident edge already full at the start
+			// of this visit): unlink so later sweeps skip it.
 			if prev == nilList {
 				d.listHead[r] = nxt
 			} else {
@@ -296,9 +470,31 @@ func (d *Decoder) growOne(r int32) {
 					d.listNext[r] = nilList
 				}
 			}
-		} else {
-			prev = v
+			v = nxt
+			continue
 		}
+		adj := d.G.AdjacentEdges(v)
+		base := d.adjBase[v]
+		// Bits in m are exactly the slots whose edge has growth < 2, so the
+		// sweep touches no fully-grown edge.
+		for mm := m; mm != 0; mm &= mm - 1 {
+			slot := bits.TrailingZeros16(mm)
+			e := adj[slot]
+			if d.growth[e] == 0 {
+				d.growth[e] = 1
+				d.touchedEdges = append(d.touchedEdges, e)
+			} else {
+				d.growth[e] = 2
+				d.merged = append(d.merged, e)
+				m &^= 1 << uint(slot)
+				// Clear the far endpoint's slot too (a no-op zero bit when
+				// the far endpoint is the maskless boundary vertex).
+				pos := base + int32(slot)
+				d.adjMask[d.adjFar[pos]] &^= d.adjFarBit[pos]
+			}
+		}
+		d.adjMask[v] = m
+		prev = v
 		v = nxt
 	}
 }
@@ -330,28 +526,26 @@ func (d *Decoder) rebuildActive() {
 	d.active = out
 }
 
-// peel runs the DFS Engine and CORR Engine steps: it builds a spanning tree
-// over every support component containing defects (rooting boundary-attached
-// components at the boundary) and peels it leaf-first, emitting correction
-// edges. After peeling, every defect mark has been cleared.
+// peel runs the DFS Engine and CORR Engine steps: it walks the spanning
+// forest Gr-Gen built (rooting boundary-attached components at the
+// boundary) and peels each tree leaf-first, emitting correction edges.
+// After peeling, every defect mark has been cleared.
 func (d *Decoder) peel(defects []int32) {
 	d.visitLog = d.visitLog[:0]
 	b := d.G.Boundary()
 
 	// Boundary-attached components first, each boundary subtree counted as
 	// its own cluster (physically distinct clusters share only the virtual
-	// boundary vertex).
+	// boundary vertex). The boundary's tree-adjacency list holds exactly
+	// the support edges that merged a cluster into the boundary.
 	d.visited[b] = true
 	d.visitLog = append(d.visitLog, b)
-	for _, e := range d.G.AdjacentEdges(b) {
-		if d.growth[e] != 2 {
-			continue
-		}
-		u := d.G.Other(e, b)
+	for s := d.treeAdjHead[b]; s != nilList; s = d.treeAdjNext[s] {
+		u := d.treeAdjFar[s]
 		if d.visited[u] {
 			continue
 		}
-		d.peelTree(u, e, true)
+		d.peelTree(u, s>>1, true)
 	}
 	// Interior components, rooted at a defect each.
 	for _, v := range defects {
@@ -365,14 +559,13 @@ func (d *Decoder) peel(defects []int32) {
 }
 
 // peelTree explores one spanning tree rooted at `root` (whose edge to the
-// boundary, if any, is rootEdge) and peels it.
+// boundary, if any, is rootEdge) and peels it. The traversal follows the
+// tree-adjacency lists only, so each vertex costs O(tree degree) instead
+// of a scan over its full lattice adjacency.
 func (d *Decoder) peelTree(root int32, rootEdge int32, boundary bool) {
-	d.treeChild = d.treeChild[:0]
-	d.treeParent = d.treeParent[:0]
-	d.treeEdge = d.treeEdge[:0]
+	d.tree = d.tree[:0]
 	d.runtime = d.runtime[:0]
 
-	b := d.G.Boundary()
 	d.visited[root] = true
 	d.visitLog = append(d.visitLog, root)
 	vertices := 1
@@ -380,18 +573,14 @@ func (d *Decoder) peelTree(root int32, rootEdge int32, boundary bool) {
 	if d.defect[root] {
 		origDefects++
 	}
-	d.runtime = append(d.runtime, dfsFrame{vertex: root, parentEdge: rootEdge})
+	d.runtime = append(d.runtime, root)
 	maxRT := 1
 	for len(d.runtime) > 0 {
-		fr := d.runtime[len(d.runtime)-1]
+		v := d.runtime[len(d.runtime)-1]
 		d.runtime = d.runtime[:len(d.runtime)-1]
-		v := fr.vertex
-		for _, e := range d.G.AdjacentEdges(v) {
-			if d.growth[e] != 2 || e == fr.parentEdge {
-				continue
-			}
-			u := d.G.Other(e, v)
-			if u == b || d.visited[u] {
+		for s := d.treeAdjHead[v]; s != nilList; s = d.treeAdjNext[s] {
+			u := d.treeAdjFar[s]
+			if d.visited[u] { // covers the parent and the boundary vertex
 				continue
 			}
 			d.visited[u] = true
@@ -400,10 +589,8 @@ func (d *Decoder) peelTree(root int32, rootEdge int32, boundary bool) {
 			if d.defect[u] {
 				origDefects++
 			}
-			d.treeChild = append(d.treeChild, u)
-			d.treeParent = append(d.treeParent, v)
-			d.treeEdge = append(d.treeEdge, e)
-			d.runtime = append(d.runtime, dfsFrame{vertex: u, parentEdge: e})
+			d.tree = append(d.tree, treeRec{child: u, parent: v, edge: s >> 1})
+			d.runtime = append(d.runtime, u)
 			if len(d.runtime) > maxRT {
 				maxRT = len(d.runtime)
 			}
@@ -414,12 +601,12 @@ func (d *Decoder) peelTree(root int32, rootEdge int32, boundary bool) {
 	// side selects the edge into the correction and flips the parent's
 	// defect state; defects reaching a boundary-rooted tree's root are
 	// flushed through the root edge into the boundary.
-	for i := len(d.treeEdge) - 1; i >= 0; i-- {
-		child, parent, e := d.treeChild[i], d.treeParent[i], d.treeEdge[i]
-		if d.defect[child] {
-			d.defect[child] = false
-			d.correction = append(d.correction, e)
-			d.defect[parent] = !d.defect[parent]
+	for i := len(d.tree) - 1; i >= 0; i-- {
+		r := &d.tree[i]
+		if d.defect[r.child] {
+			d.defect[r.child] = false
+			d.correction = append(d.correction, r.edge)
+			d.defect[r.parent] = !d.defect[r.parent]
 		}
 	}
 	if d.defect[root] {
@@ -433,17 +620,19 @@ func (d *Decoder) peelTree(root int32, rootEdge int32, boundary bool) {
 		}
 	}
 
-	d.Stats.Clusters = append(d.Stats.Clusters, ClusterStat{
-		Vertices:        vertices,
-		GrowthSteps:     int(d.steps[d.find(root)]),
-		Defects:         origDefects,
-		TouchesBoundary: boundary,
-	})
+	if !d.Opts.LeanStats {
+		d.Stats.Clusters = append(d.Stats.Clusters, ClusterStat{
+			Vertices:        vertices,
+			GrowthSteps:     int(d.steps[d.find(root)]),
+			Defects:         origDefects,
+			TouchesBoundary: boundary,
+		})
+	}
 	if maxRT > d.Stats.MaxRuntimeStack {
 		d.Stats.MaxRuntimeStack = maxRT
 	}
-	if len(d.treeEdge) > d.Stats.MaxEdgeStack {
-		d.Stats.MaxEdgeStack = len(d.treeEdge)
+	if len(d.tree) > d.Stats.MaxEdgeStack {
+		d.Stats.MaxEdgeStack = len(d.tree)
 	}
-	d.Stats.SupportEdges += len(d.treeEdge)
+	d.Stats.SupportEdges += len(d.tree)
 }

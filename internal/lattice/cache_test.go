@@ -1,0 +1,66 @@
+package lattice
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCachedReturnsSameInstance(t *testing.T) {
+	a := Cached3D(3, 3)
+	b := Cached3D(3, 3)
+	if a != b {
+		t.Fatal("Cached3D built two instances for one shape")
+	}
+	if Cached2D(3) == a || Cached3DWindow(3, 3) == a {
+		t.Fatal("distinct shapes share a cache entry")
+	}
+}
+
+func TestCachedMatchesDirectConstruction(t *testing.T) {
+	for _, tc := range []struct {
+		cached, direct *Graph
+	}{
+		{Cached2D(5), New2D(5)},
+		{Cached3D(5, 5), New3D(5, 5)},
+		{Cached3DWindow(5, 5), New3DWindow(5, 5)},
+	} {
+		if tc.cached.V != tc.direct.V || len(tc.cached.Edges) != len(tc.direct.Edges) ||
+			tc.cached.Distance != tc.direct.Distance || tc.cached.Rounds != tc.direct.Rounds ||
+			tc.cached.TimeBoundary != tc.direct.TimeBoundary {
+			t.Fatalf("cached graph %v differs from direct %v", tc.cached, tc.direct)
+		}
+		for i := range tc.direct.Edges {
+			if tc.cached.Edges[i] != tc.direct.Edges[i] {
+				t.Fatalf("edge %d differs", i)
+			}
+		}
+	}
+}
+
+func TestCachedConcurrentAccessSingleInstance(t *testing.T) {
+	const goroutines = 16
+	out := make([]*Graph, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = Cached3D(7, 4)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if out[i] != out[0] {
+			t.Fatal("concurrent Cached calls returned distinct instances")
+		}
+	}
+}
+
+func TestCachedInvalidShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Cached with d<2 did not panic")
+		}
+	}()
+	Cached2D(1)
+}

@@ -1,0 +1,217 @@
+package montecarlo
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"afs/internal/noise"
+	"afs/internal/stats"
+)
+
+// point is one (d, p) measurement point flowing through the worker pool.
+type point struct {
+	cfg   AccuracyConfig
+	chunk uint64 // trials per chunk
+	// nChunks fixes the chunk set (and with it the random streams): chunk
+	// c covers trials [c*chunk, min((c+1)*chunk, Trials)).
+	nChunks uint64
+
+	next     atomic.Uint64 // next unclaimed chunk index
+	trials   atomic.Uint64 // trials executed
+	failures atomic.Uint64
+	defects  atomic.Uint64 // total defects observed (for MeanDefects)
+	stopped  atomic.Bool   // adaptive early-stopping latch
+
+	mu         sync.Mutex
+	start, end time.Time
+}
+
+func newPoint(cfg AccuracyConfig) *point {
+	pt := &point{cfg: cfg, chunk: cfg.chunkTrials()}
+	pt.nChunks = (cfg.Trials + pt.chunk - 1) / pt.chunk
+	return pt
+}
+
+// claim returns the next chunk's trial range, or ok=false when the point
+// is exhausted or stopped.
+func (pt *point) claim() (lo, hi uint64, c uint64, ok bool) {
+	if pt.stopped.Load() {
+		return 0, 0, 0, false
+	}
+	c = pt.next.Add(1) - 1
+	if c >= pt.nChunks {
+		return 0, 0, 0, false
+	}
+	pt.mu.Lock()
+	if pt.start.IsZero() {
+		pt.start = time.Now()
+	}
+	pt.mu.Unlock()
+	lo = c * pt.chunk
+	hi = lo + pt.chunk
+	if hi > pt.cfg.Trials {
+		hi = pt.cfg.Trials
+	}
+	return lo, hi, c, true
+}
+
+// finish records a completed chunk's tallies and evaluates the adaptive
+// stopping rule.
+func (pt *point) finish(trials, failures, defects uint64) {
+	pt.failures.Add(failures)
+	pt.defects.Add(defects)
+	done := pt.trials.Add(trials)
+	pt.mu.Lock()
+	pt.end = time.Now()
+	pt.mu.Unlock()
+	if pt.cfg.StopRelCI <= 0 || pt.stopped.Load() {
+		return
+	}
+	fails := pt.failures.Load()
+	if fails < pt.cfg.stopMinFailures() {
+		return
+	}
+	// The (fails, done) pair is a racy snapshot across workers; that is
+	// fine for a stopping heuristic — the final reported rate uses the
+	// exact post-join tallies.
+	ci := stats.WilsonInterval(fails, done, 0.95)
+	rate := float64(fails) / float64(done)
+	if (ci.Hi-ci.Lo)/2 <= pt.cfg.StopRelCI*rate {
+		pt.stopped.Store(true)
+	}
+}
+
+// result assembles the point's AccuracyResult after the pool has drained.
+func (pt *point) result() AccuracyResult {
+	executed := pt.trials.Load()
+	failures := pt.failures.Load()
+	res := AccuracyResult{
+		Distance:        pt.cfg.Distance,
+		Rounds:          pt.cfg.rounds(),
+		P:               pt.cfg.P,
+		Trials:          executed,
+		TrialsRequested: pt.cfg.Trials,
+		EarlyStopped:    pt.stopped.Load(),
+		Failures:        failures,
+	}
+	if executed > 0 {
+		res.LogicalErrorRate = float64(failures) / float64(executed)
+		res.MeanDefects = float64(pt.defects.Load()) / float64(executed)
+	}
+	res.CI = rateInterval(failures, executed, pt.cfg.Seed)
+	pt.mu.Lock()
+	if !pt.start.IsZero() {
+		res.Elapsed = pt.end.Sub(pt.start)
+	}
+	pt.mu.Unlock()
+	return res
+}
+
+// runPoints drives a persistent worker pool over all points: every worker
+// scans the points in order and claims chunks off each point's shared
+// counter until the point is drained, then moves on. Nothing ever joins on
+// a single point, so a hard point in one worker never idles the rest —
+// this is chunked work stealing with points overlapping at their tails.
+func runPoints(points []*point, workers int) {
+	if len(points) == 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var trial noise.Trial
+			var residual noise.Bitset
+			for _, pt := range points {
+				g := pt.cfg.graph()
+				cut := g.NorthCutQubits()
+				var dec Decoder
+				var s *noise.Sampler
+				for {
+					lo, hi, c, ok := pt.claim()
+					if !ok {
+						break
+					}
+					// Lazy per-point state: a worker that never claims a
+					// chunk of this point builds nothing for it.
+					if dec == nil {
+						dec = pt.cfg.New(g)
+						s = noise.NewSampler(g, pt.cfg.P, pt.cfg.Seed, c)
+					} else {
+						// Each chunk owns the deterministic random stream
+						// PCG(Seed, chunkIndex), so results do not depend
+						// on which worker runs it.
+						s.Reseed(pt.cfg.Seed, c)
+					}
+					var failures, defects uint64
+					for i := lo; i < hi; i++ {
+						s.Sample(&trial)
+						defects += uint64(len(trial.Defects))
+						corr := dec.Decode(trial.Defects)
+						ApplyCorrection(g, corr, &trial, &residual)
+						if residual.Parity(cut) {
+							failures++
+						}
+					}
+					pt.finish(hi-lo, failures, defects)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// RunAccuracy measures the logical error rate of cfg's decoder: each trial
+// samples a phenomenological error, decodes the detection events, applies
+// the correction, and declares a logical failure when the residual error
+// crosses the north boundary cut an odd number of times.
+//
+// Trials are distributed over chunked work stealing with per-chunk seeding,
+// so for a fixed (Seed, Trials, ChunkTrials) the result is bit-identical
+// for every worker count (early stopping, when enabled, relaxes this —
+// see AccuracyConfig.StopRelCI).
+func RunAccuracy(cfg AccuracyConfig) AccuracyResult {
+	start := time.Now()
+	pt := newPoint(cfg)
+	runPoints([]*point{pt}, cfg.Workers)
+	res := pt.result()
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// SweepAccuracy runs RunAccuracy over the cross product of distances and
+// error rates, returning results in row-major order (distance outer, p
+// inner) regardless of execution order. It is the engine behind the
+// paper's Figures 3 and 8.
+//
+// All points share one persistent worker pool and execute concurrently:
+// workers drain points front to back, overlapping at point boundaries, so
+// total wall time tracks total work instead of the sum of per-point
+// critical paths. Per-point results are identical to calling RunAccuracy
+// point by point with the same configuration.
+func SweepAccuracy(base AccuracyConfig, distances []int, ps []float64) []AccuracyResult {
+	points := make([]*point, 0, len(distances)*len(ps))
+	for _, d := range distances {
+		for _, p := range ps {
+			cfg := base
+			cfg.Distance = d
+			cfg.P = p
+			points = append(points, newPoint(cfg))
+		}
+	}
+	runPoints(points, base.Workers)
+	out := make([]AccuracyResult, len(points))
+	for i, pt := range points {
+		out[i] = pt.result()
+	}
+	return out
+}

@@ -2,14 +2,19 @@
 // infrastructure (§III-A): for each configuration of physical error rate,
 // code distance, and noise model it samples random trials, decodes them,
 // counts logical failures, and attaches bootstrap confidence intervals to
-// the measured rates. Trials are distributed over a worker pool with
-// deterministic per-worker seeding, so every reported number is exactly
-// reproducible.
+// the measured rates.
+//
+// Trials are executed by a work-stealing engine (see engine.go): work is
+// split into fixed-size chunks claimed off a shared atomic counter, each
+// chunk carrying its own deterministic seed, so measured numbers are exactly
+// reproducible and — unlike per-worker seeding — independent of the worker
+// count. Whole sweeps run through one persistent worker pool, so easy
+// (d, p) points never leave workers idle while a hard point finishes, and an
+// optional adaptive early-stopping rule terminates a point once its
+// confidence interval is tight enough.
 package montecarlo
 
 import (
-	"runtime"
-	"sync"
 	"time"
 
 	"afs/internal/lattice"
@@ -24,9 +29,16 @@ type Decoder interface {
 	Decode(defects []int32) []int32
 }
 
-// Factory builds a fresh decoder bound to g. Each worker calls it once, so
-// implementations need not be safe for concurrent use.
+// Factory builds a fresh decoder bound to g. Each worker calls it once per
+// sweep point, so implementations need not be safe for concurrent use.
 type Factory func(g *lattice.Graph) Decoder
+
+// DefaultChunkTrials is the work-stealing chunk size used when
+// AccuracyConfig.ChunkTrials is zero. It is part of the reproducibility
+// contract: results are bit-identical across worker counts for a fixed
+// (Seed, Trials, ChunkTrials) triple, because every chunk owns the
+// deterministic random stream PCG(Seed, chunkIndex).
+const DefaultChunkTrials = 1024
 
 // AccuracyConfig describes one logical-error-rate measurement point.
 type AccuracyConfig struct {
@@ -46,6 +58,24 @@ type AccuracyConfig struct {
 	Seed uint64
 	// New builds the decoder under test.
 	New Factory
+
+	// ChunkTrials is the number of trials per work-stealing chunk; 0
+	// selects DefaultChunkTrials. Results depend on the chunking (each
+	// chunk is its own random stream), not on how chunks land on workers.
+	ChunkTrials uint64
+
+	// StopRelCI, when positive, enables adaptive early stopping: the point
+	// terminates once the Wilson 95% CI half-width divided by the observed
+	// rate is <= StopRelCI (e.g. 0.1 stops at ±10% relative precision).
+	// Easy points (high p, low d) then finish orders of magnitude sooner.
+	// The default of 0 preserves exact fixed-trial-count behavior; early
+	// stopping trades bit-exact reproducibility of the executed trial set
+	// for speed (which chunks run depends on timing).
+	StopRelCI float64
+	// StopMinFailures gates early stopping until at least this many
+	// failures have been observed; 0 selects 50, enough that the Wilson
+	// interval is meaningful.
+	StopMinFailures uint64
 }
 
 func (c AccuracyConfig) rounds() int {
@@ -55,102 +85,46 @@ func (c AccuracyConfig) rounds() int {
 	return c.Rounds
 }
 
+func (c AccuracyConfig) chunkTrials() uint64 {
+	if c.ChunkTrials == 0 {
+		return DefaultChunkTrials
+	}
+	return c.ChunkTrials
+}
+
+func (c AccuracyConfig) stopMinFailures() uint64 {
+	if c.StopMinFailures == 0 {
+		return 50
+	}
+	return c.StopMinFailures
+}
+
+// graph returns the (shared, immutable) decoding graph for the point.
+func (c AccuracyConfig) graph() *lattice.Graph {
+	if c.rounds() == 1 {
+		return lattice.Cached2D(c.Distance)
+	}
+	return lattice.Cached3D(c.Distance, c.rounds())
+}
+
 // AccuracyResult is the outcome of one measurement point.
 type AccuracyResult struct {
-	Distance         int
-	Rounds           int
-	P                float64
-	Trials           uint64
+	Distance int
+	Rounds   int
+	P        float64
+	// Trials is the number of trials actually executed; it equals
+	// TrialsRequested unless early stopping fired.
+	Trials uint64
+	// TrialsRequested is the configured trial budget.
+	TrialsRequested uint64
+	// EarlyStopped reports whether the adaptive stopping rule terminated
+	// the point before its full budget.
+	EarlyStopped     bool
 	Failures         uint64
 	LogicalErrorRate float64
 	CI               stats.RateCI
 	MeanDefects      float64
 	Elapsed          time.Duration
-}
-
-// RunAccuracy measures the logical error rate of cfg's decoder: each trial
-// samples a phenomenological error, decodes the detection events, applies
-// the correction, and declares a logical failure when the residual error
-// crosses the north boundary cut an odd number of times.
-func RunAccuracy(cfg AccuracyConfig) AccuracyResult {
-	start := time.Now()
-	rounds := cfg.rounds()
-	var g *lattice.Graph
-	if rounds == 1 {
-		g = lattice.New2D(cfg.Distance)
-	} else {
-		g = lattice.New3D(cfg.Distance, rounds)
-	}
-	cut := g.NorthCutQubits()
-
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if uint64(workers) > cfg.Trials && cfg.Trials > 0 {
-		workers = int(cfg.Trials)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-
-	type partial struct {
-		failures uint64
-		defects  float64
-	}
-	parts := make([]partial, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		share := cfg.Trials / uint64(workers)
-		if uint64(w) < cfg.Trials%uint64(workers) {
-			share++
-		}
-		wg.Add(1)
-		go func(w int, share uint64) {
-			defer wg.Done()
-			dec := cfg.New(g)
-			s := noise.NewSampler(g, cfg.P, cfg.Seed, uint64(w)+1)
-			var trial noise.Trial
-			var residual noise.Bitset
-			var totalDefects uint64
-			for i := uint64(0); i < share; i++ {
-				s.Sample(&trial)
-				totalDefects += uint64(len(trial.Defects))
-				corr := dec.Decode(trial.Defects)
-				ApplyCorrection(g, corr, &trial, &residual)
-				if residual.Parity(cut) {
-					parts[w].failures++
-				}
-			}
-			if share > 0 {
-				parts[w].defects = float64(totalDefects) / float64(share)
-			}
-		}(w, share)
-	}
-	wg.Wait()
-
-	var failures uint64
-	var meanDefects float64
-	for _, p := range parts {
-		failures += p.failures
-		meanDefects += p.defects
-	}
-	meanDefects /= float64(workers)
-
-	res := AccuracyResult{
-		Distance:    cfg.Distance,
-		Rounds:      rounds,
-		P:           cfg.P,
-		Trials:      cfg.Trials,
-		Failures:    failures,
-		MeanDefects: meanDefects,
-		Elapsed:     time.Since(start),
-	}
-	if cfg.Trials > 0 {
-		res.LogicalErrorRate = float64(failures) / float64(cfg.Trials)
-	}
-	res.CI = rateInterval(failures, cfg.Trials, cfg.Seed)
-	return res
 }
 
 // rateInterval attaches a 95% confidence interval to a Monte-Carlo rate:
@@ -167,29 +141,11 @@ func rateInterval(failures, trialCount, seed uint64) stats.RateCI {
 // ApplyCorrection computes the residual data-error mask for a trial:
 // residual = net injected data error XOR data effect of the correction.
 func ApplyCorrection(g *lattice.Graph, correction []int32, trial *noise.Trial, residual *noise.Bitset) {
-	residual.Resize(g.NumDataQubits())
-	residual.Clear()
+	residual.CopyFrom(trial.NetData)
 	for _, e := range correction {
 		ed := &g.Edges[e]
 		if ed.Kind == lattice.Spatial {
 			residual.Flip(int(ed.Qubit))
 		}
 	}
-	residual.Xor(trial.NetData)
-}
-
-// SweepAccuracy runs RunAccuracy over the cross product of distances and
-// error rates, returning results in row-major order (distance outer, p
-// inner). It is the engine behind the paper's Figures 3 and 8.
-func SweepAccuracy(base AccuracyConfig, distances []int, ps []float64) []AccuracyResult {
-	out := make([]AccuracyResult, 0, len(distances)*len(ps))
-	for _, d := range distances {
-		for _, p := range ps {
-			cfg := base
-			cfg.Distance = d
-			cfg.P = p
-			out = append(out, RunAccuracy(cfg))
-		}
-	}
-	return out
 }

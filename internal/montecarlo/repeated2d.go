@@ -22,7 +22,7 @@ import (
 func RunRepeated2D(cfg AccuracyConfig) AccuracyResult {
 	start := time.Now()
 	rounds := cfg.rounds()
-	g := lattice.New2D(cfg.Distance)
+	g := lattice.Cached2D(cfg.Distance)
 	cut := g.NorthCutQubits()
 
 	workers := cfg.Workers
@@ -105,12 +105,13 @@ func RunRepeated2D(cfg AccuracyConfig) AccuracyResult {
 		failures += f
 	}
 	res := AccuracyResult{
-		Distance: cfg.Distance,
-		Rounds:   rounds,
-		P:        cfg.P,
-		Trials:   cfg.Trials,
-		Failures: failures,
-		Elapsed:  time.Since(start),
+		Distance:        cfg.Distance,
+		Rounds:          rounds,
+		P:               cfg.P,
+		Trials:          cfg.Trials,
+		TrialsRequested: cfg.Trials,
+		Failures:        failures,
+		Elapsed:         time.Since(start),
 	}
 	if cfg.Trials > 0 {
 		res.LogicalErrorRate = float64(failures) / float64(cfg.Trials)

@@ -42,10 +42,15 @@ type Sampler struct {
 	G *lattice.Graph
 	P float64
 
-	rng    *rand.Rand
-	logq   float64 // ln(1-p), cached for geometric skips
-	marks  []bool  // defect marks, scratch, length V
-	faults uint64  // total faults sampled (for statistics)
+	pcg  *rand.PCG
+	rng  *rand.Rand
+	logq float64 // ln(1-p), cached for geometric skips
+	// marks holds epoch-stamped defect parities: marks[v] == epoch means v
+	// currently has an odd number of sampled incident edges. Stamping
+	// replaces per-sample clearing, so a trial costs O(faults), never O(V).
+	marks  []uint64
+	epoch  uint64
+	faults uint64 // total faults sampled (for statistics)
 	trials uint64
 }
 
@@ -56,13 +61,23 @@ func NewSampler(g *lattice.Graph, p float64, seed1, seed2 uint64) *Sampler {
 	if p < 0 || p >= 1 {
 		panic("noise: physical error rate must be in [0,1)")
 	}
+	pcg := rand.NewPCG(seed1, seed2)
 	return &Sampler{
 		G:     g,
 		P:     p,
-		rng:   rand.New(rand.NewPCG(seed1, seed2)),
+		pcg:   pcg,
+		rng:   rand.New(pcg),
 		logq:  math.Log1p(-p),
-		marks: make([]bool, g.V),
+		marks: make([]uint64, g.V),
 	}
+}
+
+// Reseed rewinds the sampler onto a fresh deterministic random stream
+// without allocating, reusing the scratch state. The Monte-Carlo engine
+// uses it to give every work chunk its own seed so results are independent
+// of how chunks land on workers.
+func (s *Sampler) Reseed(seed1, seed2 uint64) {
+	s.pcg.Seed(seed1, seed2)
 }
 
 // RNG exposes the sampler's random stream for auxiliary draws that must
@@ -86,31 +101,62 @@ func (s *Sampler) Sample(t *Trial) {
 	t.NetData.Resize(s.G.NumDataQubits())
 	t.NetData.Clear()
 
+	// Geometric-skip sampling, inlined from SparseBernoulliLogQ so the
+	// per-fault callback costs nothing on this hottest path.
 	edges := s.G.Edges
-	SparseBernoulliLogQ(s.rng, len(edges), s.logq, func(i int) {
-		t.ErrorEdges = append(t.ErrorEdges, int32(i))
-	})
+	if s.logq < 0 {
+		n := len(edges)
+		i := -1
+		for {
+			u := s.rng.Float64()
+			if u == 0 {
+				break // skip of +inf
+			}
+			skip := math.Floor(math.Log(u) / s.logq)
+			if skip >= float64(n) { // also catches +inf
+				break
+			}
+			i += int(skip) + 1
+			if i >= n {
+				break
+			}
+			t.ErrorEdges = append(t.ErrorEdges, int32(i))
+		}
+	}
 	s.faults += uint64(len(t.ErrorEdges))
 	s.trials++
 
+	// Epoch-stamped parity toggles: == epoch is odd, anything else even.
+	// A fresh epoch per trial makes every stale stamp read as even, so no
+	// clearing pass over the marks is ever needed.
+	s.epoch += 2
+	odd, even := s.epoch, s.epoch-1
 	for _, ei := range t.ErrorEdges {
 		e := &edges[ei]
 		if !s.G.IsBoundary(e.U) {
-			s.marks[e.U] = !s.marks[e.U]
+			if s.marks[e.U] == odd {
+				s.marks[e.U] = even
+			} else {
+				s.marks[e.U] = odd
+			}
 		}
 		if !s.G.IsBoundary(e.V) {
-			s.marks[e.V] = !s.marks[e.V]
+			if s.marks[e.V] == odd {
+				s.marks[e.V] = even
+			} else {
+				s.marks[e.V] = odd
+			}
 		}
 		if e.Kind == lattice.Spatial {
 			t.NetData.Flip(int(e.Qubit))
 		}
 	}
-	// Collect and clear marks touching only the flipped vertices.
+	// Collect the odd vertices, demoting each stamp so it is reported once.
 	for _, ei := range t.ErrorEdges {
 		e := &edges[ei]
 		for _, v := range [2]int32{e.U, e.V} {
-			if !s.G.IsBoundary(v) && s.marks[v] {
-				s.marks[v] = false
+			if !s.G.IsBoundary(v) && s.marks[v] == odd {
+				s.marks[v] = even
 				t.Defects = append(t.Defects, v)
 			}
 		}
@@ -213,6 +259,20 @@ func (b *Bitset) Set(i int) { b.words[i>>6] |= 1 << (uint(i) & 63) }
 
 // Flip toggles bit i.
 func (b *Bitset) Flip(i int) { b.words[i>>6] ^= 1 << (uint(i) & 63) }
+
+// CopyFrom makes b an exact copy of other (length and contents), reusing
+// b's storage when it is large enough. It replaces the Resize/Clear/Xor
+// triple callers previously needed, touching each word exactly once.
+func (b *Bitset) CopyFrom(other Bitset) {
+	w := len(other.words)
+	if w > cap(b.words) {
+		b.words = make([]uint64, w)
+	} else {
+		b.words = b.words[:w]
+	}
+	copy(b.words, other.words)
+	b.n = other.n
+}
 
 // Xor xors other into b. The bitsets must have equal length.
 func (b *Bitset) Xor(other Bitset) {

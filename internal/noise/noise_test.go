@@ -251,6 +251,96 @@ func TestBitsetResizeClearsStaleBits(t *testing.T) {
 	}
 }
 
+func TestBitsetCopyFrom(t *testing.T) {
+	src := NewBitset(100)
+	src.Set(3)
+	src.Set(99)
+	var dst Bitset
+	dst.CopyFrom(src)
+	if dst.Len() != 100 || dst.PopCount() != 2 || !dst.Get(3) || !dst.Get(99) {
+		t.Fatalf("copy into zero bitset wrong: len=%d popcount=%d", dst.Len(), dst.PopCount())
+	}
+	// Mutating the copy must not touch the source (no aliasing).
+	dst.Flip(3)
+	if !src.Get(3) {
+		t.Fatal("CopyFrom aliased the source storage")
+	}
+	// Copying a shorter bitset over a longer one must shed the old bits.
+	short := NewBitset(10)
+	short.Set(5)
+	dst.CopyFrom(short)
+	if dst.Len() != 10 || dst.PopCount() != 1 || !dst.Get(5) {
+		t.Fatalf("copy of shorter bitset wrong: len=%d popcount=%d", dst.Len(), dst.PopCount())
+	}
+}
+
+func TestBitsetCopyFromShrinkThenGrow(t *testing.T) {
+	// The stale-word hazard Resize guards against: a bitset that was large,
+	// shrank, and is then the target of a larger copy must not resurrect
+	// old high words.
+	big := NewBitset(200)
+	big.Set(199)
+	big.Set(130)
+	big.Resize(10) // high words become stale capacity
+	src := NewBitset(150)
+	src.Set(1)
+	big.CopyFrom(src)
+	if big.Len() != 150 || big.PopCount() != 1 || !big.Get(1) {
+		t.Fatalf("shrink-then-grow copy kept stale bits: popcount=%d", big.PopCount())
+	}
+	if big.Get(130) {
+		t.Fatal("stale bit 130 resurrected")
+	}
+}
+
+func TestBitsetCopyFromEquivalentToResizeClearXor(t *testing.T) {
+	src := NewBitset(77)
+	for _, i := range []int{0, 13, 63, 64, 76} {
+		src.Set(i)
+	}
+	a := NewBitset(5)
+	a.Set(2)
+	b := NewBitset(5)
+	b.Set(2)
+	a.CopyFrom(src)
+	b.Resize(src.Len())
+	b.Clear()
+	b.Xor(src)
+	if a.Len() != b.Len() || a.PopCount() != b.PopCount() {
+		t.Fatalf("CopyFrom disagrees with Resize/Clear/Xor: %d/%d bits vs %d/%d",
+			a.PopCount(), a.Len(), b.PopCount(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.Get(i) != b.Get(i) {
+			t.Fatalf("bit %d differs", i)
+		}
+	}
+}
+
+func TestSamplerReseedReproducesStream(t *testing.T) {
+	g := lattice.New3D(5, 5)
+	fresh := NewSampler(g, 0.02, 9, 4)
+	reseeded := NewSampler(g, 0.02, 1, 1)
+	var a, b Trial
+	// Burn some trials so the reseeded sampler has dirty scratch state.
+	for i := 0; i < 50; i++ {
+		reseeded.Sample(&b)
+	}
+	reseeded.Reseed(9, 4)
+	for i := 0; i < 50; i++ {
+		fresh.Sample(&a)
+		reseeded.Sample(&b)
+		if len(a.Defects) != len(b.Defects) {
+			t.Fatalf("trial %d: defect counts differ (%d vs %d)", i, len(a.Defects), len(b.Defects))
+		}
+		for j := range a.Defects {
+			if a.Defects[j] != b.Defects[j] {
+				t.Fatalf("trial %d: defects differ at %d", i, j)
+			}
+		}
+	}
+}
+
 func TestBitsetXorLengthMismatchPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -19,6 +19,12 @@ type Forest struct {
 	// re-pointed at the root (path compression) exactly as the Gr-Gen does.
 	traversal []int32
 
+	// ident holds the identity mapping and ones an all-ones column so Reset
+	// can restore both tables with two vectorized copies instead of an
+	// element-by-element loop.
+	ident []int32
+	ones  []int32
+
 	// Access counters (Root Table and Size Table reads/writes) consumed by
 	// the micro-architecture latency model.
 	RootReads  uint64
@@ -33,6 +39,12 @@ func New(n int) *Forest {
 		parent:    make([]int32, n),
 		size:      make([]int32, n),
 		traversal: make([]int32, 0, 32),
+		ident:     make([]int32, n),
+		ones:      make([]int32, n),
+	}
+	for i := 0; i < n; i++ {
+		f.ident[i] = int32(i)
+		f.ones[i] = 1
 	}
 	f.Reset()
 	return f
@@ -46,12 +58,27 @@ func (f *Forest) Len() int { return len(f.parent) }
 // without reallocating, which is what the hardware does between logical
 // cycles.
 func (f *Forest) Reset() {
-	for i := range f.parent {
-		f.parent[i] = int32(i)
-		f.size[i] = 1
-	}
+	copy(f.parent, f.ident)
+	copy(f.size, f.ones)
+	f.ResetCounters()
+}
+
+// ResetCounters clears the access counters without touching set structure.
+// Callers performing sparse resets (Reinit on the touched elements only)
+// use it to start a fresh accounting period.
+func (f *Forest) ResetCounters() {
 	f.RootReads, f.RootWrites = 0, 0
 	f.SizeReads, f.SizeWrites = 0, 0
+}
+
+// Reinit restores element v to a singleton set without charging table
+// accesses. It is the sparse counterpart of Reset: a caller that knows
+// which elements were touched since the last reset can restore exactly
+// those in O(touched) instead of O(n), which is what makes decoder reuse
+// cheap for sparse syndromes.
+func (f *Forest) Reinit(v int32) {
+	f.parent[v] = v
+	f.size[v] = 1
 }
 
 // Find returns the representative of x, path-compressing every vertex
@@ -76,6 +103,33 @@ func (f *Forest) Find(x int32) int32 {
 		}
 	}
 	return x
+}
+
+// FindQuiet is Find without access accounting, for bulk Monte-Carlo
+// decoding where the memory-traffic profile is not consumed. It uses
+// two-pass path compression instead of the traversal registers.
+func (f *Forest) FindQuiet(x int32) int32 {
+	root := x
+	for f.parent[root] != root {
+		root = f.parent[root]
+	}
+	for f.parent[x] != root {
+		x, f.parent[x] = f.parent[x], root
+	}
+	return root
+}
+
+// UnionRootsQuiet is UnionRoots without access accounting.
+func (f *Forest) UnionRootsQuiet(ra, rb int32) int32 {
+	if ra == rb {
+		return ra
+	}
+	if f.size[ra] < f.size[rb] {
+		ra, rb = rb, ra
+	}
+	f.parent[rb] = ra
+	f.size[ra] += f.size[rb]
+	return ra
 }
 
 // FindNoCompress returns the representative of x without modifying the

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // System manages the decoding subsystem of an FTQC with many logical
@@ -76,14 +77,17 @@ func (s *System) Size() int { return len(s.qubits) }
 func (s *System) Qubit(i int) *LogicalQubit { return s.qubits[i] }
 
 // RunCycles simulates n logical cycles of the whole fleet: every qubit
-// samples its X/Z syndromes and decodes them, qubits spread across the
-// worker pool. Returns the number of qubit-cycles that suffered a logical
-// error.
+// samples its X/Z syndromes and decodes them, qubits claimed off a shared
+// counter so a hard qubit never stalls the others (work stealing, like the
+// Monte-Carlo engine). Each qubit's sampler advances only under the worker
+// that claimed it, so results are independent of the worker count. Returns
+// the number of qubit-cycles that suffered a logical error.
 func (s *System) RunCycles(n int) uint64 {
 	if n <= 0 {
 		return 0
 	}
 	var wg sync.WaitGroup
+	var next atomic.Int64
 	errsPer := make([]uint64, s.workers)
 	latSum := make([]float64, s.workers)
 	latMax := make([]float64, s.workers)
@@ -92,7 +96,11 @@ func (s *System) RunCycles(n int) uint64 {
 		go func(w int) {
 			defer wg.Done()
 			var x, z Syndrome
-			for i := w; i < len(s.qubits); i += s.workers {
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(s.qubits) {
+					return
+				}
 				q, sp := s.qubits[i], s.samplers[i]
 				for c := 0; c < n; c++ {
 					sp.Sample(&x, &z)

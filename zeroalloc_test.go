@@ -1,0 +1,48 @@
+package afs_test
+
+import (
+	"testing"
+
+	"afs"
+)
+
+// TestSteadyStateSampleDecodeZeroAllocs audits the Monte-Carlo inner loop:
+// after warm-up, drawing a syndrome and decoding it at the paper's design
+// point (d=11, a full logical cycle) must not touch the heap. This is the
+// property that keeps 10^7-trial sweeps GC-free.
+func TestSteadyStateSampleDecodeZeroAllocs(t *testing.T) {
+	e := afs.New(11)
+	sp := e.NewSampler(1e-3, 42)
+	var sy afs.Syndrome
+	// Warm-up: let every reused slice reach its steady-state capacity.
+	for i := 0; i < 2000; i++ {
+		sp.Sample(&sy)
+		e.Decode(&sy)
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		sp.Sample(&sy)
+		e.Decode(&sy)
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Sample+Decode allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+// TestSteadyStateZeroAllocsNearThreshold repeats the audit at a high error
+// rate, where syndromes are dense and every scratch structure is stressed.
+func TestSteadyStateZeroAllocsNearThreshold(t *testing.T) {
+	e := afs.New(7)
+	sp := e.NewSampler(0.02, 7)
+	var sy afs.Syndrome
+	for i := 0; i < 2000; i++ {
+		sp.Sample(&sy)
+		e.Decode(&sy)
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		sp.Sample(&sy)
+		e.Decode(&sy)
+	})
+	if avg != 0 {
+		t.Fatalf("near-threshold Sample+Decode allocates %.2f objects/op, want 0", avg)
+	}
+}
