@@ -10,11 +10,17 @@
 //     per-worker striping, a join barrier per point) and through the
 //     work-stealing engine — reporting trials/sec and the speedup;
 //   - an early-stopping demonstration: the same sweep with an adaptive
-//     CI-driven stop, reporting the fraction of the trial budget saved.
+//     CI-driven stop, reporting the fraction of the trial budget saved;
+//   - streaming benchmarks: single-stream sliding-window decoding measured
+//     on the rebuilt ring-buffer decoder and on the preserved pre-rebuild
+//     baseline, interleaved on identical pregenerated rounds so the
+//     speedup is an apples-to-apples same-machine number, plus
+//     multi-stream StreamEngine fleets (L = 16, 256, 1000) reporting
+//     aggregate throughput and scaling efficiency.
 //
 // Usage:
 //
-//	afs-bench [-out BENCH_1.json] [-trials N] [-workers W] [-quick]
+//	afs-bench [-out BENCH_2.json] [-trials N] [-workers W] [-quick]
 //	          [-ref-tps T] [-ref-label L]
 //
 // -ref-tps records an externally measured reference throughput (for
@@ -36,6 +42,7 @@ import (
 	"afs/internal/lattice"
 	"afs/internal/montecarlo"
 	"afs/internal/noise"
+	"afs/internal/stream"
 )
 
 // report is the schema of BENCH_N.json. Field names are stable: future
@@ -78,7 +85,39 @@ type report struct {
 		Secs            float64   `json:"secs"`
 	} `json:"early_stop"`
 
+	Stream struct {
+		Distance int     `json:"d"`
+		P        float64 `json:"p"`
+		Window   int     `json:"window_rounds"`
+
+		// Single-stream steady-state throughput, baseline vs rebuilt,
+		// interleaved in alternating segments over identical rounds.
+		SingleRounds        uint64  `json:"single_stream_rounds"`
+		Segments            int     `json:"interleaved_segments"`
+		BaselineRoundsPerS  float64 `json:"baseline_rounds_per_sec"`
+		RebuiltRoundsPerS   float64 `json:"rebuilt_rounds_per_sec"`
+		SpeedupVsBaseline   float64 `json:"rebuilt_speedup_vs_baseline"`
+		PushAllocsPerOp     float64 `json:"steady_state_push_allocs_per_op"`
+		BaselineAllocsPerOp float64 `json:"baseline_push_allocs_per_op"`
+
+		// Multi-stream fleets through afs.StreamEngine (sampling included).
+		Fleet []fleetPoint `json:"fleet"`
+		// Aggregate throughput at L=256 over L=16, normalized by the ideal
+		// parallel-capacity ratio min(L,procs)/min(16,procs); 1.0 = linear.
+		ScalingEfficiency float64 `json:"scaling_efficiency_16_to_256"`
+	} `json:"stream"`
+
 	Reference *reference `json:"reference,omitempty"`
+}
+
+type fleetPoint struct {
+	Streams          int     `json:"streams"`
+	Workers          int     `json:"workers"`
+	RoundsPerStream  uint64  `json:"rounds_per_stream"`
+	Secs             float64 `json:"secs"`
+	AggRoundsPerSec  float64 `json:"aggregate_stream_rounds_per_sec"`
+	PerStreamRPS     float64 `json:"per_stream_rounds_per_sec"`
+	CorrectionsTotal uint64  `json:"corrections_committed"`
 }
 
 type benchPoint struct {
@@ -97,7 +136,7 @@ type reference struct {
 
 func main() {
 	var (
-		out      = flag.String("out", "BENCH_1.json", "output report path (\"-\" for stdout only)")
+		out      = flag.String("out", "BENCH_2.json", "output report path (\"-\" for stdout only)")
 		trialsN  = flag.Uint64("trials", 20000, "Monte-Carlo trials per sweep point")
 		workers  = flag.Int("workers", 0, "worker goroutines (0 = all CPUs)")
 		quick    = flag.Bool("quick", false, "shrink budgets ~10x for a smoke run")
@@ -107,7 +146,7 @@ func main() {
 	flag.Parse()
 
 	var r report
-	r.BenchVersion = 1
+	r.BenchVersion = 2
 	r.GeneratedBy = "cmd/afs-bench"
 	r.GoVersion = runtime.Version()
 	r.GOMAXPROCS = runtime.GOMAXPROCS(0)
@@ -197,6 +236,8 @@ func main() {
 		r.EarlyStop.TrialsExecuted, r.EarlyStop.TrialsRequested,
 		r.EarlyStop.PointsStopped, r.EarlyStop.Points, r.EarlyStop.SavingsFactor)
 
+	benchStream(&r, *quick)
+
 	if *refTPS > 0 {
 		r.Reference = &reference{
 			Label:         *refLabel,
@@ -256,6 +297,133 @@ func microPoint(d int, p float64) benchPoint {
 		AllocsPerOp:   allocs,
 		ModelNSDecode: modelNS / float64(n),
 	}
+}
+
+// benchStream measures the streaming layer at the paper's design point.
+func benchStream(r *report, quick bool) {
+	const d = 11
+	const p = 1e-3
+	r.Stream.Distance = d
+	r.Stream.P = p
+	r.Stream.Window = d
+
+	// Shared pregenerated rounds: both decoders consume the identical event
+	// sequence, and the sampler stays out of the timed region.
+	pool := make([][]int32, 8192)
+	s := noise.NewRoundSampler(d, p, 1234, 1)
+	for i := range pool {
+		pool[i] = append([]int32(nil), s.SampleRound()...)
+	}
+
+	segRounds := 200_000
+	segments := 6
+	if quick {
+		segRounds = 20_000
+	}
+	r.Stream.SingleRounds = uint64(segRounds * segments / 2)
+	r.Stream.Segments = segments
+
+	rebuilt, err := stream.New(d, d, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "afs-bench:", err)
+		os.Exit(1)
+	}
+	rebuilt.SetSink(func(stream.Correction) {})
+	baseline, err := stream.NewBaseline(d, d, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "afs-bench:", err)
+		os.Exit(1)
+	}
+
+	// Warm both to steady state, then time alternating segments so slow
+	// machine-wide drift (thermal, scheduler) hits both sides equally.
+	warm := 4 * d
+	for i := 0; i < warm; i++ {
+		rebuilt.PushLayer(pool[i%len(pool)])
+		baseline.PushLayer(pool[i%len(pool)])
+	}
+	baseline.Flush() // drop warm-up corrections; rebuilt's sink retains none
+	var rebuiltSecs, baselineSecs float64
+	for seg := 0; seg < segments; seg++ {
+		off := seg * segRounds
+		if seg%2 == 0 {
+			t0 := time.Now()
+			for i := 0; i < segRounds; i++ {
+				rebuilt.PushLayer(pool[(off+i)%len(pool)])
+			}
+			rebuiltSecs += time.Since(t0).Seconds()
+		} else {
+			t0 := time.Now()
+			for i := 0; i < segRounds; i++ {
+				baseline.PushLayer(pool[(off+i)%len(pool)])
+			}
+			baselineSecs += time.Since(t0).Seconds()
+			baseline.Flush() // keep the retained slice from skewing later segments
+		}
+	}
+	half := float64(segRounds * segments / 2)
+	r.Stream.RebuiltRoundsPerS = half / rebuiltSecs
+	r.Stream.BaselineRoundsPerS = half / baselineSecs
+	r.Stream.SpeedupVsBaseline = r.Stream.RebuiltRoundsPerS / r.Stream.BaselineRoundsPerS
+
+	r.Stream.PushAllocsPerOp = testing.AllocsPerRun(500, func() {
+		rebuilt.PushLayer(pool[0])
+	})
+	r.Stream.BaselineAllocsPerOp = testing.AllocsPerRun(500, func() {
+		baseline.PushLayer(pool[0])
+	})
+
+	fmt.Printf("\n== streaming: single stream, d=%d p=%g, %d rounds each, interleaved ==\n",
+		d, p, int(half))
+	fmt.Printf("baseline: %8.0f rounds/sec (%.2f allocs/round)\n",
+		r.Stream.BaselineRoundsPerS, r.Stream.BaselineAllocsPerOp)
+	fmt.Printf("rebuilt:  %8.0f rounds/sec (%.2f allocs/round), %.2fx vs baseline\n",
+		r.Stream.RebuiltRoundsPerS, r.Stream.PushAllocsPerOp, r.Stream.SpeedupVsBaseline)
+
+	// Multi-stream fleets: constant aggregate work (stream-rounds) per
+	// point, end to end (per-stream noise sampling included).
+	budget := uint64(3_000_000)
+	if quick {
+		budget = 300_000
+	}
+	fmt.Printf("\n== streaming: StreamEngine fleets (aggregate %d stream-rounds/point) ==\n", budget)
+	for _, L := range []int{16, 256, 1000} {
+		rounds := int(budget) / L
+		eng, err := afs.NewStreamEngine(afs.StreamEngineConfig{
+			Streams: L, Distance: d, P: p, Seed: 99,
+			OnCorrection: func(int, afs.StreamCorrection) {},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "afs-bench:", err)
+			os.Exit(1)
+		}
+		eng.RunRounds(2 * d) // warm
+		t0 := time.Now()
+		eng.RunRounds(rounds)
+		secs := time.Since(t0).Seconds()
+		agg := float64(rounds) * float64(L) / secs
+		r.Stream.Fleet = append(r.Stream.Fleet, fleetPoint{
+			Streams:          L,
+			Workers:          eng.Workers(),
+			RoundsPerStream:  uint64(rounds),
+			Secs:             secs,
+			AggRoundsPerSec:  agg,
+			PerStreamRPS:     agg / float64(L),
+			CorrectionsTotal: eng.TotalCorrections(),
+		})
+		eng.Close()
+		fmt.Printf("L=%4d (workers %2d): %9.0f stream-rounds/sec aggregate, %7.0f per stream\n",
+			L, r.Stream.Fleet[len(r.Stream.Fleet)-1].Workers, agg, agg/float64(L))
+	}
+	// Scaling efficiency L=16 -> L=256, against the machine's parallel
+	// capacity: with P procs the ideal aggregate ratio is min(256,P)/min(16,P)
+	// (1.0 on small machines — aggregate throughput should hold flat).
+	procs := runtime.GOMAXPROCS(0)
+	ideal := float64(min(256, procs)) / float64(min(16, procs))
+	r.Stream.ScalingEfficiency =
+		(r.Stream.Fleet[1].AggRoundsPerSec / r.Stream.Fleet[0].AggRoundsPerSec) / ideal
+	fmt.Printf("scaling efficiency 16->256: %.2f (1.0 = linear in parallel capacity)\n",
+		r.Stream.ScalingEfficiency)
 }
 
 func sampleOnly(d int, p float64) float64 {

@@ -1,0 +1,430 @@
+package core
+
+import "math/bits"
+
+// The sparse shortcut (Options.SparseShortcut).
+//
+// At the operating points a deployed decoder sees (p ~ 1e-3), almost every
+// decoding window holds zero, one, or two detection events, and almost every
+// non-empty syndrome is one of two trivial shapes:
+//
+//   - an isolated *pair* of defects at graph distance 1 (one data error or
+//     one measurement flip), whose correction is the connecting edge;
+//   - an isolated *single* defect one step from a boundary (a data error on
+//     a boundary qubit, or an event awaiting its partner beyond a window's
+//     temporal boundary), whose correction is one boundary edge.
+//
+// Running cluster growth, spanning-forest DFS, and peeling to rediscover
+// these answers dominates the streaming decoder's run time. The shortcut
+// classifies the syndrome into provably independent groups, emits fast
+// groups' corrections directly, and routes everything else through the full
+// pipeline — producing exactly the edge set the full algorithm would.
+//
+// Soundness. Under half-edge growth, a cluster born at defect u stops
+// growing at the latest when it touches a boundary, which takes at most
+// 2*B(u) growth rounds (B = L1 distance to the nearest boundary; the
+// cluster's frontier advances half an edge toward the boundary every round
+// it is active). Every vertex a cluster ever absorbs is therefore within
+// L1 distance B(u) of some defect u it contains, and every edge it ever
+// half-grows has an endpoint within that radius — L1 coordinate distance
+// *is* the growth metric on this lattice, because any two real vertices at
+// L1 distance 1 share an edge (lattice.EdgeBetween). A fast group's reach
+// is even smaller: a pair's clusters merge in round 1 and stop, absorbing
+// no vertex beyond the two defects themselves (an edge only completes when
+// both halves grow, and only vertices already in a cluster grow halves, so
+// a pair's outward half-edges never finish on their own); a single with
+// B(v) == 1 merges into the boundary in round 2 after absorbing only v's
+// direct neighbors. So with per-defect influence radii — the L1 reach of
+// the vertices a group's clusters can ever absorb —
+//
+//	R(i) = 0               if i's group is a pair,
+//	R(i) = 1               if i's group is a boundary single,
+//	R(i) = min(B(i), D)    if i's group is two defects at distance D,
+//	R(i) = B(i)            otherwise,
+//
+// where the two-defect case follows from watching the gap: while both
+// clusters are active their frontiers close it by a full edge per round and
+// they merge (going even, hence inactive) having each absorbed at most the
+// ball it grew crossing its side of the gap, within distance D; if one
+// freezes on a boundary first its radius is bounded by B, and the survivor
+// grows until it meets the frozen cluster, which lies within distance D of
+// it. Either way no absorbed vertex is farther than min(B(i), D) from its
+// group's nearest defect.
+//
+// two groups can interact only if an edge can fully grow between their
+// absorbed regions, i.e. only if some cross pair (i, j) satisfies
+// L1(i, j) <= R(i) + R(j) + 1 (two absorbed endpoints joined by one edge;
+// an edge with only one endpoint ever absorbed gains half-growth from one
+// side only and never completes). The classifier iterates grouping and classification
+// to a fixpoint whose terminal partition has no such cross pair; groups
+// that remain distinct evolve exactly as they would alone. (Any partition
+// satisfying the invariant yields the same edge set — the full decode's —
+// so the iteration order is a performance choice, not a correctness one.) Fast groups'
+// isolated evolutions are computed in closed form below; slow groups are
+// decoded together by the real pipeline, which reproduces their joint part
+// of a whole-syndrome decode verbatim. Boundary-vertex sharing between
+// groups is benign: clusters that touch the boundary are already inactive,
+// and peeling walks each boundary-rooted subtree independently.
+//
+// The closed forms match the full algorithm edge-for-edge, not just up to
+// equivalence. A pair's clusters merge through their unique connecting
+// edge, and peeling of a two-vertex tree emits exactly that edge. A
+// boundary single's round-2 merge sweep visits v's adjacency in ascending
+// edge order, so the first boundary edge becomes the spanning-tree edge to
+// the boundary and peeling emits it; lattice.FirstBoundaryEdge returns the
+// same edge. Only the *order* of edges within the returned correction may
+// differ from a full decode.
+
+// maxShortcutDefects bounds the syndromes the shortcut classifies; the
+// pairwise isolation check is O(k^2) per fixpoint round, so large (rare)
+// syndromes go straight to the full pipeline.
+const maxShortcutDefects = 32
+
+// sparseMaxFullRounds bounds the classification fixpoint's full regroup
+// rounds. The two-defect distance cap can lower radii, so the fixpoint is
+// not monotone on paper; real syndromes converge in one or two full rounds,
+// and anything that reaches the cap falls back to the full pipeline.
+const sparseMaxFullRounds = 6
+
+const (
+	spSlow   uint8 = iota // full grow/DFS/peel pipeline
+	spPair                // two defects joined by one edge
+	spSingle              // one defect with a direct boundary edge
+)
+
+// sparseScratch is the shortcut's preallocated working set; all slices hold
+// maxShortcutDefects entries and are indexed by defect position, so a
+// steady-state decode performs no allocation.
+type sparseScratch struct {
+	r, c, t []int32  // defect coordinates
+	bd      []int32  // L1 distance to the nearest boundary
+	root    []int32  // micro union-find over defect positions
+	rad     []int32  // influence radius under the current classification
+	kind    []uint8  // per-root group shape
+	emit    []int32  // per-root fast correction edge
+	mask    []uint32 // per-root member bitmask
+	pmask   []uint32 // previous round's masks: cache key for kind/emit
+	gd      []int32  // per-root two-defect distance cap on slow radii
+	reach   []int32  // per-root min over members of t - rad
+	slow    []int32  // defects routed to the full pipeline, in input order
+	dirty   []int32  // defects whose radius the last classification raised
+	maxRad  int32    // max rad over all defects this classification
+}
+
+func newSparseScratch() sparseScratch {
+	const k = maxShortcutDefects
+	return sparseScratch{
+		r: make([]int32, k), c: make([]int32, k), t: make([]int32, k),
+		bd: make([]int32, k), root: make([]int32, k), rad: make([]int32, k),
+		kind: make([]uint8, k), emit: make([]int32, k),
+		mask: make([]uint32, k), pmask: make([]uint32, k),
+		gd: make([]int32, k), reach: make([]int32, k),
+		slow:  make([]int32, 0, k), dirty: make([]int32, 0, k),
+	}
+}
+
+func (s *sparseScratch) find(i int32) int32 {
+	for s.root[i] != i {
+		s.root[i] = s.root[s.root[i]]
+		i = s.root[i]
+	}
+	return i
+}
+
+func abs32(x int32) int32 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// decodeSparse attempts the shortcut. It returns (correction, true) when
+// the syndrome decomposes into independent groups at least one of which is
+// fast or skippable under the horizon; otherwise (nil, false) and the
+// caller must run the full pipeline on the whole syndrome. A decode that
+// never enters the pipeline leaves all cluster state and the undo logs
+// untouched, deferring the rewind of the previous decode to the next
+// reset.
+//
+// Horizon skipping: a group whose every touched edge provably has
+// Round >= horizon contributes nothing the caller will use, so it is
+// dropped before any work happens. By the soundness argument above, a
+// group's edges all have Round >= min over members of (t - R), so the
+// group is skippable when that bound reaches the horizon.
+func (d *Decoder) decodeSparse(defects []int32, horizon int32) ([]int32, bool) {
+	k := len(defects)
+	if k == 0 || k > maxShortcutDefects {
+		return nil, false
+	}
+	s := &d.sp
+	s.maxRad = 0
+	for i, v := range defects {
+		p := d.G.PackedCoords(v)
+		s.r[i] = int32(p & 0xffff)
+		s.c[i] = int32((p >> 16) & 0xffff)
+		s.t[i] = int32((p >> 32) & 0xffff)
+		s.bd[i] = int32(p >> 48)
+		s.rad[i] = 0
+		s.mask[i] = 0 // invalidate the kind/emit cache from the last decode
+	}
+	// Fixpoint: group defects under the current radii, classify the groups,
+	// and let the classification raise radii (pair members stay at 0,
+	// boundary singles at 1, members of slow groups at B(i)). Crucially the
+	// partition is re-derived from scratch each round rather than coarsened
+	// by irreversible unions: radii start optimistic (every defect assumed a
+	// pair member), so the first grouping is plain adjacency — exactly the
+	// defect pairs single errors produce — and two independent measurement
+	// pairs a few cells apart are recognized as separate fast pairs instead
+	// of being lumped into one slow conglomerate by their members'
+	// pre-classification B radii. Radii only ever grow — a pair cannot split
+	// (distance 1 <= 0+0+1) and a slow group's superset can never reclassify
+	// as fast — so the conflict set grows monotonically, the partition
+	// monotonically coarsens, and the loop terminates, in practice in two
+	// rounds. Only the terminal state is used, and it satisfies the isolation
+	// invariant the soundness argument needs: no cross-group defect pair
+	// within R(i)+R(j)+1, with R valid for the terminal classification.
+	// Round 0: all radii are zero, so grouping is plain adjacency — exactly
+	// the defect pairs isolated errors produce.
+	d.sparseRegroup(k)
+	if d.classifySparseGroups(defects, k) {
+		// Pair-first round: union slow singletons among themselves before
+		// anything else sees their radii. A slow singleton is almost always
+		// one half of a separated defect pair; once the halves meet, the
+		// group's two-defect distance cap (see classifySparseGroups) shrinks
+		// both radii from B(i) to min(B(i), D), so the pessimistic
+		// pre-pairing B radii never get to chain unrelated fast groups into
+		// one slow conglomerate that the pipeline then decodes over
+		// B-radius balls.
+		fired := false
+		for i := 0; i < k; i++ {
+			ri := s.find(int32(i))
+			if s.kind[ri] != spSlow || bits.OnesCount32(s.mask[ri]) != 1 {
+				continue
+			}
+			for j := i + 1; j < k; j++ {
+				rj := s.find(int32(j))
+				if rj == ri || s.kind[rj] != spSlow || bits.OnesCount32(s.mask[rj]) != 1 {
+					continue
+				}
+				dist := abs32(s.r[i]-s.r[j]) + abs32(s.c[i]-s.c[j]) + abs32(s.t[i]-s.t[j])
+				if dist <= s.rad[i]+s.rad[j]+1 {
+					s.root[rj] = ri
+					fired = true
+				}
+			}
+		}
+		if fired {
+			for i := int32(0); i < int32(k); i++ {
+				s.root[i] = s.find(i)
+			}
+			d.classifySparseGroups(defects, k)
+		}
+		// Full rounds: regroup from scratch under the current radii and
+		// reclassify until nothing changes. When the only state since the
+		// last full regroup is a radius change (s.dirty), an incremental
+		// check suffices: conflicts between two defects with unchanged radii
+		// were already examined there and are intra-group, so only pairs
+		// touching a dirty defect need the test — none firing means the
+		// partition under the new radii is the one already classified. The
+		// restricted pair round above changes the partition outside a full
+		// regroup, so when it fires the first full round is unconditional.
+		// The two-defect cap can lower radii, so the rounds are not
+		// monotone; the cap on their number keeps termination trivial, and
+		// a non-converged syndrome (never observed in practice) falls back
+		// to the full pipeline — exact, just slower.
+		converged := false
+		for round := 0; round < sparseMaxFullRounds; round++ {
+			if round > 0 || !fired {
+				conflict := false
+			scan:
+				for _, di := range s.dirty {
+					i := int(di)
+					for j := 0; j < k; j++ {
+						if s.root[j] == s.root[i] {
+							continue
+						}
+						dist := abs32(s.r[i]-s.r[j]) + abs32(s.c[i]-s.c[j]) + abs32(s.t[i]-s.t[j])
+						if dist <= s.rad[i]+s.rad[j]+1 {
+							conflict = true
+							break scan
+						}
+					}
+				}
+				if !conflict {
+					converged = true
+					break
+				}
+			}
+			d.sparseRegroup(k)
+			if !d.classifySparseGroups(defects, k) {
+				converged = true
+				break
+			}
+		}
+		if !converged {
+			return nil, false
+		}
+	}
+
+	// Per-group reach bound: the earliest round any of the group's edges
+	// can touch. Groups entirely at or past the horizon are skipped.
+	for i := 0; i < k; i++ {
+		if s.mask[i] != 0 {
+			s.reach[i] = noHorizon
+		}
+	}
+	for i := 0; i < k; i++ {
+		ri := s.root[i]
+		if reach := s.t[i] - s.rad[i]; reach < s.reach[ri] {
+			s.reach[ri] = reach
+		}
+	}
+
+	s.slow = s.slow[:0]
+	fast, skipped := 0, 0
+	for i := 0; i < k; i++ {
+		if s.mask[i] != 0 { // root: account for its group once
+			if s.reach[i] >= horizon {
+				skipped++
+			} else if s.kind[i] != spSlow {
+				fast++
+			}
+		}
+		ri := s.root[i]
+		if s.reach[ri] < horizon && s.kind[ri] == spSlow {
+			s.slow = append(s.slow, defects[i])
+		}
+	}
+	if fast == 0 && skipped == 0 {
+		return nil, false // nothing to shortcut; avoid classifying twice
+	}
+
+	if len(s.slow) > 0 {
+		// Slow groups cannot interact with any fast group, so decoding them
+		// together through the full pipeline reproduces exactly their share
+		// of a whole-syndrome decode.
+		d.reset(s.slow)
+		d.growClusters()
+		d.peel(s.slow)
+	} else {
+		// No cluster state is touched: the previous decode's undo logs stay
+		// in place for a later reset, and only the outputs are refreshed.
+		d.Stats = DecodeStats{Clusters: d.Stats.Clusters[:0]}
+		d.correction = d.correction[:0]
+		d.uf.ResetCounters()
+	}
+	for i := 0; i < k; i++ {
+		if s.mask[i] != 0 && s.kind[i] != spSlow && s.reach[i] < horizon {
+			d.correction = append(d.correction, s.emit[i])
+		}
+	}
+	d.Stats.NumDefects = k
+	d.Stats.CorrectionEdges = len(d.correction)
+	d.Stats.RootTableAccesses = d.uf.RootReads + d.uf.RootWrites
+	d.Stats.SizeTableAccesses = d.uf.SizeReads + d.uf.SizeWrites
+	return d.correction, true
+}
+
+// sparseRegroup rebuilds the defect partition from scratch under the
+// current radii and leaves the union-find flattened so every later lookup
+// is a direct load.
+func (d *Decoder) sparseRegroup(k int) {
+	s := &d.sp
+	for i := 0; i < k; i++ {
+		s.root[i] = int32(i)
+	}
+	for i := 0; i < k; i++ {
+		// Defects arrive sorted by vertex id, so t is nondecreasing: once
+		// j's layer is beyond any possible conflict with i, later j are too.
+		tmax := s.t[i] + s.rad[i] + s.maxRad + 1
+		for j := i + 1; j < k; j++ {
+			if s.t[j] > tmax {
+				break
+			}
+			dist := abs32(s.r[i]-s.r[j]) + abs32(s.c[i]-s.c[j]) + abs32(s.t[i]-s.t[j])
+			if dist <= s.rad[i]+s.rad[j]+1 {
+				ri, rj := s.find(int32(i)), s.find(int32(j))
+				if ri != rj {
+					s.root[rj] = ri
+				}
+			}
+		}
+	}
+	for i := int32(0); i < int32(k); i++ {
+		s.root[i] = s.find(i)
+	}
+}
+
+// classifySparseGroups recomputes, for the current grouping (roots already
+// flattened), each root's shape and fast correction edge plus each defect's
+// influence radius. A root whose member mask is unchanged from the previous
+// round keeps its cached kind and emit edge — the shape probes
+// (FirstBoundaryEdge, EdgeBetween) scan adjacency lists, and the fixpoint's
+// later rounds mostly revisit unchanged groups. It reports whether any
+// radius changed — false means the fixpoint has converged — and records the
+// raised defects in s.dirty for the incremental convergence check.
+func (d *Decoder) classifySparseGroups(defects []int32, k int) bool {
+	s := &d.sp
+	for i := 0; i < k; i++ {
+		s.pmask[i], s.mask[i] = s.mask[i], 0
+	}
+	for i := 0; i < k; i++ {
+		s.mask[s.root[i]] |= 1 << uint(i)
+	}
+	for i := 0; i < k; i++ {
+		m := s.mask[i]
+		if m == 0 || m == s.pmask[i] {
+			continue // not a root, or cached from the previous round
+		}
+		kind, edge, gcap := spSlow, int32(-1), noHorizon
+		switch bits.OnesCount32(m) {
+		case 1:
+			v := int32(bits.TrailingZeros32(m))
+			if s.bd[v] == 1 {
+				if e := d.G.FirstBoundaryEdge(defects[v]); e != -1 {
+					kind, edge = spSingle, e
+				}
+			}
+		case 2:
+			a := int32(bits.TrailingZeros32(m))
+			b := int32(bits.TrailingZeros32(m &^ (1 << uint(a))))
+			dist := abs32(s.r[a]-s.r[b]) + abs32(s.c[a]-s.c[b]) + abs32(s.t[a]-s.t[b])
+			if dist == 1 {
+				if e := d.G.EdgeBetween(defects[a], defects[b]); e != -1 {
+					kind, edge = spPair, e
+				}
+			} else {
+				// A separated two-defect group stays slow, but its growth
+				// stops within min(B, dist) of each defect (see the radius
+				// table above), which keeps its conflict range far below the
+				// raw B radii.
+				gcap = dist
+			}
+		}
+		s.kind[i], s.emit[i], s.gd[i] = kind, edge, gcap
+	}
+	s.dirty = s.dirty[:0]
+	s.maxRad = 0
+	for i := 0; i < k; i++ {
+		var rad int32
+		switch s.kind[s.root[i]] {
+		case spPair:
+			rad = 0
+		case spSingle:
+			rad = 1
+		default:
+			rad = s.bd[i]
+			if g := s.gd[s.root[i]]; g < rad {
+				rad = g
+			}
+		}
+		if rad != s.rad[i] {
+			s.rad[i] = rad
+			s.dirty = append(s.dirty, int32(i))
+		}
+		if rad > s.maxRad {
+			s.maxRad = rad
+		}
+	}
+	return len(s.dirty) > 0
+}

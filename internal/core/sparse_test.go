@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+
+	"afs/internal/lattice"
+)
+
+// sortedCorrection decodes defects with dec and returns the correction as a
+// sorted copy, so edge-set comparisons ignore emission order (the shortcut
+// guarantees the same set, not the same order).
+func sortedCorrection(dec *Decoder, defects []int32) []int32 {
+	out := append([]int32(nil), dec.Decode(defects)...)
+	slices.Sort(out)
+	return out
+}
+
+// checkShortcutMatchesFull runs the same defect sets through a shortcut
+// decoder and a full decoder bound to the same graph, reusing both across
+// calls (which also exercises the shortcut's deferred-reset interplay).
+func checkShortcutMatchesFull(t *testing.T, g *lattice.Graph, sets [][]int32) {
+	t.Helper()
+	full := NewDecoder(g, Options{})
+	fast := NewDecoder(g, Options{SparseShortcut: true, LeanStats: true})
+	for _, defects := range sets {
+		want := sortedCorrection(full, defects)
+		got := sortedCorrection(fast, defects)
+		if !slices.Equal(got, want) {
+			t.Fatalf("%v: defects %v: shortcut corrections %v != full %v",
+				g, defects, got, want)
+		}
+		if syn := SyndromeOf(g, got); !slices.Equal(syn, defects) {
+			t.Fatalf("%v: defects %v: correction %v reproduces syndrome %v",
+				g, defects, got, syn)
+		}
+	}
+}
+
+// TestSparseShortcutExhaustiveSmall enumerates every single defect and every
+// defect pair on small closed, window, and 2-D graphs: sizes 1 and 2 are
+// exactly the syndromes the fast paths claim in closed form.
+func TestSparseShortcutExhaustiveSmall(t *testing.T) {
+	for _, g := range []*lattice.Graph{
+		lattice.New2D(3), lattice.New2D(4),
+		lattice.New3D(3, 3), lattice.New3DWindow(3, 3),
+		lattice.New3D(2, 3), lattice.New3DWindow(2, 2),
+	} {
+		var sets [][]int32
+		for u := int32(0); u < int32(g.V); u++ {
+			sets = append(sets, []int32{u})
+			for v := u + 1; v < int32(g.V); v++ {
+				sets = append(sets, []int32{u, v})
+			}
+		}
+		checkShortcutMatchesFull(t, g, sets)
+	}
+}
+
+// TestSparseShortcutAllSubsetsTiny checks every defect subset of tiny
+// graphs, covering mixed fast/slow decompositions and the all-slow
+// fallback.
+func TestSparseShortcutAllSubsetsTiny(t *testing.T) {
+	for _, g := range []*lattice.Graph{
+		lattice.New3D(2, 2), lattice.New3DWindow(2, 2), lattice.New2D(3),
+	} {
+		var sets [][]int32
+		for m := 0; m < 1<<g.V; m++ {
+			var defects []int32
+			for v := 0; v < g.V; v++ {
+				if m&(1<<v) != 0 {
+					defects = append(defects, int32(v))
+				}
+			}
+			sets = append(sets, defects)
+		}
+		checkShortcutMatchesFull(t, g, sets)
+	}
+}
+
+// TestSparseShortcutRandomSubsets drives random syndromes of every size
+// class — empty, fast-only, mixed, and beyond maxShortcutDefects (forcing
+// the fallback) — through shortcut and full decoders on realistic graphs.
+func TestSparseShortcutRandomSubsets(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 29))
+	for _, g := range []*lattice.Graph{
+		lattice.New3DWindow(5, 5), lattice.New3D(5, 5), lattice.New2D(7),
+		lattice.New3DWindow(4, 8),
+	} {
+		var sets [][]int32
+		for i := 0; i < 500; i++ {
+			n := rng.IntN(maxShortcutDefects + 8)
+			if i%7 == 0 {
+				n = rng.IntN(3) // weight the sparse regime the shortcut targets
+			}
+			seen := map[int32]bool{}
+			var defects []int32
+			for len(defects) < n {
+				v := int32(rng.IntN(g.V))
+				if !seen[v] {
+					seen[v] = true
+					defects = append(defects, v)
+				}
+			}
+			slices.Sort(defects)
+			sets = append(sets, defects)
+		}
+		checkShortcutMatchesFull(t, g, sets)
+	}
+}
+
+// TestSparseShortcutAdjacentClusters plants defect patterns engineered to
+// sit at the isolation threshold: pairs one step outside each other's
+// influence radius, chains that must coalesce into one slow group, and
+// boundary-adjacent defects next to interior pairs.
+func TestSparseShortcutAdjacentClusters(t *testing.T) {
+	g := lattice.New3DWindow(7, 7)
+	id := func(r, c, tt int) int32 { return g.VertexID(r, c, tt) }
+	sets := [][]int32{
+		// Two interior pairs at increasing separations.
+		{id(2, 2, 2), id(2, 3, 2), id(2, 5, 2), id(2, 6, 2)},
+		{id(2, 2, 2), id(2, 3, 2), id(4, 2, 2), id(4, 3, 2)},
+		{id(2, 2, 2), id(3, 2, 2), id(2, 2, 4), id(3, 2, 4)},
+		// A boundary single right next to an interior pair.
+		{id(0, 3, 3), id(2, 3, 3), id(3, 3, 3)},
+		{id(0, 0, 0), id(1, 0, 0), id(2, 0, 0)},
+		// A diagonal chain (all mutually at distance 2).
+		{id(1, 1, 1), id(2, 2, 1), id(3, 3, 1), id(4, 4, 1)},
+		// Far-apart singles deep in the bulk (slow) and near boundaries.
+		{id(3, 3, 3)},
+		{id(0, 1, 1), id(5, 5, 5)},
+		// Temporal pair at the window's temporal boundary.
+		{id(3, 3, 5), id(3, 3, 6)},
+		{id(3, 3, 6)},
+	}
+	for r := 0; r < len(sets); r++ {
+		slices.Sort(sets[r])
+	}
+	checkShortcutMatchesFull(t, g, sets)
+}
+
+// TestSparseShortcutStatsContract: the shortcut must still report defect
+// and correction counts, which the streaming layer and LeanStats consumers
+// read.
+func TestSparseShortcutStatsContract(t *testing.T) {
+	g := lattice.New3DWindow(5, 5)
+	dec := NewDecoder(g, Options{SparseShortcut: true, LeanStats: true})
+	defects := []int32{g.VertexID(2, 2, 2), g.VertexID(2, 3, 2)}
+	corr := dec.Decode(defects)
+	if dec.Stats.NumDefects != 2 {
+		t.Fatalf("NumDefects = %d, want 2", dec.Stats.NumDefects)
+	}
+	if dec.Stats.CorrectionEdges != len(corr) || len(corr) != 1 {
+		t.Fatalf("CorrectionEdges = %d, corr %v", dec.Stats.CorrectionEdges, corr)
+	}
+}

@@ -77,6 +77,13 @@ type Graph struct {
 
 	adjStart []int32 // CSR offsets, length V+2 (includes boundary vertex)
 	adjList  []int32 // edge indices
+
+	// Per-vertex coordinate and boundary-distance table, filled at build
+	// time so the hot decode paths read one word instead of dividing: vertex
+	// v's row, column, layer, and boundary distance packed into 16-bit
+	// fields of vpack[v] (see PackedCoords). 16 bits bound d and rounds at
+	// 65535, far past any simulable code.
+	vpack []uint64
 }
 
 // LayerVertices returns the number of ancilla vertices per detector layer,
@@ -109,12 +116,15 @@ func (g *Graph) VertexID(r, c, t int) int32 {
 
 // VertexCoords returns the (row, column, layer) of vertex v.
 func (g *Graph) VertexCoords(v int32) (r, c, t int) {
-	d := g.Distance
-	per := d * (d - 1)
-	t = int(v) / per
-	rem := int(v) % per
-	return rem / d, rem % d, t
+	p := g.vpack[v]
+	return int(p & 0xffff), int((p >> 16) & 0xffff), int((p >> 32) & 0xffff)
 }
+
+// PackedCoords returns vertex v's row, column, layer, and boundary distance
+// packed into one word: row in bits 0-15, column in 16-31, layer in 32-47,
+// boundary distance in 48-63. The sparse decode path unpacks all four from
+// a single load.
+func (g *Graph) PackedCoords(v int32) uint64 { return g.vpack[v] }
 
 // VerticalQubit returns the data-qubit index of the vertical data qubit in
 // column c at vertical position k (0..d-1). k=0 touches the north boundary
@@ -167,10 +177,45 @@ func (g *Graph) TemporalEdge(r, c, t int) int32 {
 }
 
 // AdjacentEdges returns the indices of the edges incident to vertex v
-// (which may be the boundary vertex). The returned slice aliases internal
-// storage and must not be modified.
+// (which may be the boundary vertex), in increasing edge-index order. The
+// returned slice aliases internal storage and must not be modified.
 func (g *Graph) AdjacentEdges(v int32) []int32 {
 	return g.adjList[g.adjStart[v]:g.adjStart[v+1]]
+}
+
+// AncillaIndex returns the per-layer ancilla index (row*d + column) of real
+// vertex v — the coordinate streaming decoders exchange with the syndrome
+// source, independent of which detector layer v sits in.
+func (g *Graph) AncillaIndex(v int32) int32 {
+	return v % int32(g.LayerVertices())
+}
+
+// LayerOf returns the detector layer of real vertex v.
+func (g *Graph) LayerOf(v int32) int { return int(v) / g.LayerVertices() }
+
+// EdgeBetween returns the lowest index of an edge connecting real vertices
+// u and v, or -1 if they are not adjacent. On this lattice two real
+// vertices at L1 (graph) distance 1 always share exactly one edge.
+func (g *Graph) EdgeBetween(u, v int32) int32 {
+	for _, e := range g.AdjacentEdges(u) {
+		if g.Other(e, u) == v {
+			return e
+		}
+	}
+	return -1
+}
+
+// FirstBoundaryEdge returns the lowest index of an edge connecting real
+// vertex v to the virtual boundary vertex, or -1 if v has no boundary edge.
+// A vertex has one exactly when BoundaryDistance(v) == 1.
+func (g *Graph) FirstBoundaryEdge(v int32) int32 {
+	b := g.Boundary()
+	for _, e := range g.AdjacentEdges(v) {
+		if g.Other(e, v) == b {
+			return e
+		}
+	}
+	return -1
 }
 
 // Other returns the endpoint of edge e that is not v.
@@ -270,7 +315,33 @@ func build(d, rounds int, window bool) *Graph {
 		}
 	}
 	g.buildAdjacency()
+	g.buildVertexTables()
 	return g
+}
+
+// buildVertexTables fills the per-vertex coordinate and boundary-distance
+// lookups VertexCoords and BoundaryDistance serve.
+func (g *Graph) buildVertexTables() {
+	d := g.Distance
+	g.vpack = make([]uint64, g.V)
+	v := 0
+	for t := 0; t < g.Rounds; t++ {
+		for r := 0; r < d-1; r++ {
+			for c := 0; c < d; c++ {
+				best := r + 1
+				if south := d - 1 - r; south < best {
+					best = south
+				}
+				if g.TimeBoundary {
+					if future := g.Rounds - t; future < best {
+						best = future
+					}
+				}
+				g.vpack[v] = uint64(r) | uint64(c)<<16 | uint64(t)<<32 | uint64(best)<<48
+				v++
+			}
+		}
+	}
 }
 
 func (g *Graph) buildAdjacency() {
@@ -321,19 +392,7 @@ func (g *Graph) GraphDistance(u, v int32) int {
 // BoundaryDistance returns the shortest-path length from vertex v to the
 // nearest boundary: the north or south code boundary, or — on a window
 // graph — the temporal boundary at the end of the window.
-func (g *Graph) BoundaryDistance(v int32) int {
-	r, _, t := g.VertexCoords(v)
-	best := r + 1
-	if south := g.Distance - 1 - r; south < best {
-		best = south
-	}
-	if g.TimeBoundary {
-		if future := g.Rounds - t; future < best {
-			best = future
-		}
-	}
-	return best
-}
+func (g *Graph) BoundaryDistance(v int32) int { return int(g.vpack[v] >> 48) }
 
 func abs(x int) int {
 	if x < 0 {

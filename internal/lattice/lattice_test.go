@@ -288,3 +288,73 @@ func TestQubitIndexingDisjoint(t *testing.T) {
 		t.Fatalf("indexed %d qubits, want %d", len(seen), g.NumDataQubits())
 	}
 }
+
+func TestAncillaIndexAndLayer(t *testing.T) {
+	for _, g := range []*Graph{New2D(5), New3D(4, 7), New3DWindow(3, 3)} {
+		for v := int32(0); v < int32(g.V); v++ {
+			r, c, layer := g.VertexCoords(v)
+			if got := g.AncillaIndex(v); got != int32(r*g.Distance+c) {
+				t.Fatalf("%v: AncillaIndex(%d) = %d, want %d", g, v, got, r*g.Distance+c)
+			}
+			if got := g.LayerOf(v); got != layer {
+				t.Fatalf("%v: LayerOf(%d) = %d, want %d", g, v, got, layer)
+			}
+		}
+	}
+}
+
+func TestEdgeBetween(t *testing.T) {
+	for _, g := range []*Graph{New2D(4), New3D(3, 4), New3DWindow(4, 4)} {
+		// Every real vertex pair at L1 distance 1 shares exactly one edge,
+		// and EdgeBetween finds it; all other pairs have none.
+		for u := int32(0); u < int32(g.V); u++ {
+			for v := int32(0); v < int32(g.V); v++ {
+				e := g.EdgeBetween(u, v)
+				if u == v {
+					if e != -1 {
+						t.Fatalf("%v: self-edge %d at vertex %d", g, e, u)
+					}
+					continue
+				}
+				if g.GraphDistance(u, v) == 1 {
+					if e == -1 {
+						t.Fatalf("%v: adjacent vertices %d,%d have no edge", g, u, v)
+					}
+					if g.Other(e, u) != v {
+						t.Fatalf("%v: EdgeBetween(%d,%d) = %d does not connect them", g, u, v, e)
+					}
+				} else if e != -1 {
+					t.Fatalf("%v: non-adjacent vertices %d,%d got edge %d", g, u, v, e)
+				}
+			}
+		}
+	}
+}
+
+func TestFirstBoundaryEdge(t *testing.T) {
+	for _, g := range []*Graph{New2D(4), New3D(3, 4), New3DWindow(4, 4)} {
+		b := g.Boundary()
+		for v := int32(0); v < int32(g.V); v++ {
+			e := g.FirstBoundaryEdge(v)
+			if (g.BoundaryDistance(v) == 1) != (e != -1) {
+				t.Fatalf("%v: vertex %d: BoundaryDistance %d but FirstBoundaryEdge %d",
+					g, v, g.BoundaryDistance(v), e)
+			}
+			if e == -1 {
+				continue
+			}
+			if g.Other(e, v) != b {
+				t.Fatalf("%v: FirstBoundaryEdge(%d) = %d does not reach the boundary", g, v, e)
+			}
+			// Lowest index: no earlier adjacent edge reaches the boundary.
+			for _, e2 := range g.AdjacentEdges(v) {
+				if e2 >= e {
+					break
+				}
+				if g.Other(e2, v) == b {
+					t.Fatalf("%v: vertex %d has earlier boundary edge %d < %d", g, v, e2, e)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package noise
+
+import (
+	"math"
+	"math/bits"
+	"math/rand/v2"
+
+	"afs/internal/lattice"
+)
+
+// RoundSampler draws the phenomenological noise model round by round for
+// one logical qubit and one error type — the shape a streaming decoder
+// consumes, where Sampler draws whole closed logical cycles at once. Each
+// round, every data qubit suffers an X error with probability p (errors
+// accumulate across rounds until corrected, so the sampler tracks the
+// cumulative true syndrome) and every syndrome-bit measurement flips with
+// probability p. The emitted detection events are the XOR of consecutive
+// observed syndromes, exactly the quantity stream.Decoder.PushLayer
+// ingests.
+//
+// The steady-state SampleRound path performs no allocation: faults are
+// geometric-skip sampled, syndromes live in fixed bitsets, and the event
+// slice is reused.
+type RoundSampler struct {
+	g    *lattice.Graph // 2-D code graph: data-qubit q is edge q
+	p    float64
+	logq float64
+	pcg  *rand.PCG
+	rng  *rand.Rand
+
+	trueSyn Bitset  // cumulative data-error syndrome parity per ancilla
+	obs     Bitset  // this round's observed syndrome (scratch)
+	prev    Bitset  // previous round's observed syndrome
+	events  []int32 // reused output
+	rounds  uint64
+}
+
+// NewRoundSampler creates a per-round sampler for a distance-d code at
+// physical error rate p. The two seed words make the stream reproducible;
+// distinct qubits must use distinct seeds.
+func NewRoundSampler(distance int, p float64, seed1, seed2 uint64) *RoundSampler {
+	if p < 0 || p >= 1 {
+		panic("noise: physical error rate must be in [0,1)")
+	}
+	g := lattice.Cached2D(distance)
+	pcg := rand.NewPCG(seed1, seed2)
+	return &RoundSampler{
+		g:       g,
+		p:       p,
+		logq:    math.Log1p(-p),
+		pcg:     pcg,
+		rng:     rand.New(pcg),
+		trueSyn: NewBitset(g.V),
+		obs:     NewBitset(g.V),
+		prev:    NewBitset(g.V),
+	}
+}
+
+// Reset rewinds the sampler onto a fresh deterministic stream: pristine
+// data qubits, no pending syndrome, and the given seed.
+func (s *RoundSampler) Reset(seed1, seed2 uint64) {
+	s.pcg.Seed(seed1, seed2)
+	s.trueSyn.Clear()
+	s.prev.Clear()
+	s.rounds = 0
+}
+
+// Rounds returns the number of rounds sampled since construction or Reset.
+func (s *RoundSampler) Rounds() uint64 { return s.rounds }
+
+// SampleRound advances one round and returns its detection events as
+// sorted ancilla indices in [0, d(d-1)). The slice is reused by the next
+// call.
+func (s *RoundSampler) SampleRound() []int32 {
+	// New data errors this round fold into the cumulative true syndrome.
+	// On the 2-D graph, edge index == data-qubit index, so a geometric-skip
+	// sweep over the edge list is a sweep over the qubits.
+	g := s.g
+	edges := g.Edges
+	SparseBernoulliLogQ(s.rng, len(edges), s.logq, func(q int) {
+		e := &edges[q]
+		if !g.IsBoundary(e.U) {
+			s.trueSyn.Flip(int(e.U))
+		}
+		if !g.IsBoundary(e.V) {
+			s.trueSyn.Flip(int(e.V))
+		}
+	})
+	// Observed syndrome: the true parities, each measurement independently
+	// flipped with probability p.
+	s.obs.CopyFrom(s.trueSyn)
+	SparseBernoulliLogQ(s.rng, g.V, s.logq, func(a int) {
+		s.obs.Flip(a)
+	})
+	// Detection events: ancillas whose observed value changed since the
+	// previous round.
+	s.events = s.events[:0]
+	for wi := range s.obs.words {
+		w := s.obs.words[wi] ^ s.prev.words[wi]
+		base := int32(wi << 6)
+		for w != 0 {
+			bit := int32(bits.TrailingZeros64(w))
+			s.events = append(s.events, base+bit)
+			w &= w - 1
+		}
+	}
+	s.prev.CopyFrom(s.obs)
+	s.rounds++
+	return s.events
+}

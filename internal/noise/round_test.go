@@ -1,0 +1,88 @@
+package noise
+
+import (
+	"slices"
+	"testing"
+
+	"afs/internal/lattice"
+)
+
+func TestRoundSamplerDeterministic(t *testing.T) {
+	a := NewRoundSampler(5, 0.01, 3, 9)
+	b := NewRoundSampler(5, 0.01, 3, 9)
+	for r := 0; r < 500; r++ {
+		ea := append([]int32(nil), a.SampleRound()...)
+		eb := append([]int32(nil), b.SampleRound()...)
+		if !slices.Equal(ea, eb) {
+			t.Fatalf("round %d diverged: %v vs %v", r, ea, eb)
+		}
+	}
+	// Reset replays the identical stream.
+	a.Reset(3, 9)
+	c := NewRoundSampler(5, 0.01, 3, 9)
+	for r := 0; r < 100; r++ {
+		if !slices.Equal(a.SampleRound(), c.SampleRound()) {
+			t.Fatalf("round %d diverged after Reset", r)
+		}
+	}
+	if a.Rounds() != 100 {
+		t.Fatalf("Rounds() = %d after Reset+100", a.Rounds())
+	}
+}
+
+func TestRoundSamplerEventsWellFormed(t *testing.T) {
+	const d = 4
+	per := int32(d * (d - 1))
+	s := NewRoundSampler(d, 0.05, 7, 1)
+	for r := 0; r < 2000; r++ {
+		ev := s.SampleRound()
+		for i, x := range ev {
+			if x < 0 || x >= per {
+				t.Fatalf("round %d: event %d outside [0,%d)", r, x, per)
+			}
+			if i > 0 && ev[i-1] >= x {
+				t.Fatalf("round %d: events not strictly increasing: %v", r, ev)
+			}
+		}
+	}
+}
+
+// TestRoundSamplerEventRate checks the first-order detection-event rate:
+// an ancilla fires when an odd number of its deg(v) adjacent data qubits
+// flipped this round, or its measurement flipped this round or last round
+// — so to first order the expected events per round are
+// p * sum_v(deg(v) + 2).
+func TestRoundSamplerEventRate(t *testing.T) {
+	const d = 9
+	const p = 0.004
+	const rounds = 60000
+	g := lattice.Cached2D(d)
+	want := 0.0
+	for v := int32(0); v < int32(g.V); v++ {
+		want += p * float64(g.Degree(v)+2)
+	}
+	s := NewRoundSampler(d, p, 11, 4)
+	total := 0
+	for r := 0; r < rounds; r++ {
+		total += len(s.SampleRound())
+	}
+	got := float64(total) / rounds
+	if got < 0.85*want || got > 1.15*want {
+		t.Fatalf("mean events/round = %.3f, want ~%.3f (first order)", got, want)
+	}
+}
+
+// TestRoundSamplerZeroAllocSteadyState: the streaming engines call
+// SampleRound once per stream per round; it must stay off the heap.
+func TestRoundSamplerZeroAllocSteadyState(t *testing.T) {
+	s := NewRoundSampler(11, 1e-3, 5, 6)
+	for i := 0; i < 2000; i++ {
+		s.SampleRound()
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		s.SampleRound()
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state SampleRound allocates %.2f objects/op, want 0", avg)
+	}
+}

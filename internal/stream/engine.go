@@ -1,0 +1,234 @@
+package stream
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Engine drives L independent logical-qubit streams over a persistent
+// worker pool — the workload shape of the paper's Conjoined Decoder
+// Architecture, where one decoding subsystem serves many logical qubits
+// continuously. Ingestion is round-batched: each batch feeds the same
+// number of rounds to every stream, and workers claim whole streams off a
+// shared counter (work stealing, as in the Monte-Carlo engine), so a
+// stream whose window decodes slowly never stalls the others.
+//
+// Determinism: a stream's decoder and its per-stream state advance only
+// under the worker that claimed it for the batch, and committed
+// corrections are collected per stream, so results are bit-identical for a
+// fixed input regardless of the worker count.
+//
+// Engine methods must not be called concurrently with each other; the
+// concurrency lives inside a batch.
+type Engine struct {
+	decs   []*Decoder
+	retain [][]Correction // per stream, when cfg.Sink == nil
+	totals []uint64       // per stream committed-correction counts
+
+	workers int
+	jobs    []chan engineJob
+	wg      sync.WaitGroup
+	next    atomic.Int64
+	closed  bool
+}
+
+// EngineConfig configures a multi-stream engine.
+type EngineConfig struct {
+	// Streams is the number of logical-qubit streams L.
+	Streams int
+	// Distance, Window, Commit configure every stream's Decoder, with the
+	// same defaults as New.
+	Distance       int
+	Window, Commit int
+	// Workers bounds decode parallelism; 0 selects GOMAXPROCS. It is
+	// clamped to Streams.
+	Workers int
+	// Sink, when non-nil, receives every committed correction instead of
+	// the engine retaining it (Committed then stays empty). Calls for one
+	// stream are serialized; calls for different streams may be concurrent.
+	Sink func(stream int, c Correction)
+}
+
+// engineJob is one round batch (or a flush) broadcast to every worker.
+type engineJob struct {
+	rounds int
+	feed   func(stream, round int) []int32
+	flush  bool
+}
+
+// NewEngine builds the fleet of stream decoders and starts the worker
+// pool. Callers should Close the engine when done with it.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	if cfg.Streams < 1 {
+		return nil, fmt.Errorf("stream: engine needs at least one stream")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Streams {
+		workers = cfg.Streams
+	}
+	e := &Engine{
+		decs:    make([]*Decoder, cfg.Streams),
+		totals:  make([]uint64, cfg.Streams),
+		workers: workers,
+	}
+	if cfg.Sink == nil {
+		e.retain = make([][]Correction, cfg.Streams)
+	}
+	for i := 0; i < cfg.Streams; i++ {
+		dec, err := New(cfg.Distance, cfg.Window, cfg.Commit)
+		if err != nil {
+			return nil, err
+		}
+		i := i
+		if cfg.Sink != nil {
+			dec.SetSink(func(c Correction) {
+				e.totals[i]++
+				cfg.Sink(i, c)
+			})
+		} else {
+			dec.SetSink(func(c Correction) {
+				e.totals[i]++
+				e.retain[i] = append(e.retain[i], c)
+			})
+		}
+		e.decs[i] = dec
+	}
+	e.jobs = make([]chan engineJob, workers)
+	for w := 0; w < workers; w++ {
+		ch := make(chan engineJob, 1)
+		e.jobs[w] = ch
+		go e.worker(ch)
+	}
+	return e, nil
+}
+
+func (e *Engine) worker(ch chan engineJob) {
+	for job := range ch {
+		for {
+			i := int(e.next.Add(1) - 1)
+			if i >= len(e.decs) {
+				break
+			}
+			dec := e.decs[i]
+			if job.flush {
+				dec.Flush()
+				continue
+			}
+			for r := 0; r < job.rounds; r++ {
+				dec.PushLayer(job.feed(i, r))
+			}
+		}
+		e.wg.Done()
+	}
+}
+
+// dispatch runs one job across the pool and waits for the barrier.
+func (e *Engine) dispatch(job engineJob) {
+	e.next.Store(0)
+	e.wg.Add(e.workers)
+	for _, ch := range e.jobs {
+		ch <- job
+	}
+	e.wg.Wait()
+}
+
+// Streams returns the fleet size L.
+func (e *Engine) Streams() int { return len(e.decs) }
+
+// Workers returns the pool size actually in use.
+func (e *Engine) Workers() int { return e.workers }
+
+// Decoder exposes stream i's decoder for inspection; it must not be used
+// concurrently with engine batches.
+func (e *Engine) Decoder(i int) *Decoder { return e.decs[i] }
+
+// RunRounds feeds `rounds` rounds to every stream, pulling each round's
+// detection events from feed(stream, round). feed is invoked exactly once
+// per (stream, round), in round order for any one stream, from the worker
+// that owns the stream for this batch — so a per-stream event source (for
+// example a seeded noise sampler) stays deterministic for any worker
+// count. The returned slice is consumed before the next feed call for the
+// same stream.
+func (e *Engine) RunRounds(rounds int, feed func(stream, round int) []int32) {
+	if rounds <= 0 {
+		return
+	}
+	e.dispatch(engineJob{rounds: rounds, feed: feed})
+}
+
+// PushRound feeds one round for all L streams: events[i] holds stream i's
+// detection events. Rounds that cannot trigger a window decode are
+// ingested serially — bit-sets into the ring, far cheaper than a pool
+// barrier — while decode rounds fan the fleet out across the workers.
+func (e *Engine) PushRound(events [][]int32) {
+	if len(events) != len(e.decs) {
+		panic(fmt.Sprintf("stream: PushRound got %d event lists for %d streams", len(events), len(e.decs)))
+	}
+	// All streams ingest in lockstep, so stream 0's fill level is the
+	// fleet's: decide once whether this round completes a window.
+	willDecode := e.decs[0].Buffered()+1 >= e.decs[0].Window
+	if !willDecode || e.workers == 1 {
+		for i, dec := range e.decs {
+			dec.PushLayer(events[i])
+		}
+		return
+	}
+	e.dispatch(engineJob{rounds: 1, feed: func(stream, _ int) []int32 {
+		return events[stream]
+	}})
+}
+
+// Flush ends every stream (decoding remainders as closed windows) and
+// leaves the engine ready for new streams. Corrections flushed this way
+// reach the sink or the retained slices like any others.
+func (e *Engine) Flush() {
+	e.dispatch(engineJob{flush: true})
+}
+
+// Committed returns the corrections retained for stream i (engine built
+// without a sink). The slice is owned by the engine; it grows until
+// ResetCommitted.
+func (e *Engine) Committed(i int) []Correction {
+	if e.retain == nil {
+		return nil
+	}
+	return e.retain[i]
+}
+
+// ResetCommitted drops all retained corrections (and the totals), keeping
+// the streams' decoding state untouched.
+func (e *Engine) ResetCommitted() {
+	for i := range e.totals {
+		e.totals[i] = 0
+	}
+	for i := range e.retain {
+		e.retain[i] = e.retain[i][:0]
+	}
+}
+
+// TotalCorrections returns the number of corrections committed across the
+// fleet since construction (or the last ResetCommitted).
+func (e *Engine) TotalCorrections() uint64 {
+	var sum uint64
+	for _, n := range e.totals {
+		sum += n
+	}
+	return sum
+}
+
+// Close shuts the worker pool down. The engine must not be used after
+// Close; Close is idempotent.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for _, ch := range e.jobs {
+		close(ch)
+	}
+}

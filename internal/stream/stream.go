@@ -10,22 +10,31 @@
 // internal/storage and lattice.New3DWindow). This package supplies the
 // control loop around that window graph:
 //
-//   - detector layers are buffered as they arrive (PushLayer);
+//   - detector layers are ingested into a fixed ring of per-round bitsets
+//     (PushLayer); setting a bit is the deduplication;
 //   - when W layers are buffered, the window graph is decoded; clusters
 //     may match forward into the temporal boundary, deferring ambiguous
 //     decisions to the future;
 //   - corrections in the first C layers (the commit region) are final;
 //     a committed temporal edge crossing the commit seam explains half of
 //     a defect pair, so the far detection event is toggled before the next
-//     window sees it;
+//     window sees it (one XOR into the ring slot that becomes the next
+//     window's first layer);
 //   - corrections in the tentative region are discarded and re-derived by
 //     the next window with more context;
 //   - Flush decodes whatever remains as a closed window (the stream's
 //     final round is measured perfectly, as in the accuracy simulations).
+//
+// The steady-state path allocates nothing: the ring is sized once at W
+// layers, the defect scratch and the core decoder's working set reach fixed
+// capacities, and committed corrections can be delivered through a sink
+// (SetSink) instead of an ever-growing slice. Engine runs many Decoders —
+// one per logical qubit — over a shared worker pool.
 package stream
 
 import (
 	"fmt"
+	"math/bits"
 
 	"afs/internal/core"
 	"afs/internal/lattice"
@@ -52,24 +61,31 @@ type Decoder struct {
 	Distance int
 	// Window is W, the layers decoded together (the paper's logical cycle,
 	// d, by default). Commit is C, the layers finalized per slide (W/2 by
-	// default; 1 <= C <= W).
+	// default; 1 <= C < W).
 	Window, Commit int
 
 	// In sliding mode commit < window always holds, so the window's
 	// temporal boundary edges — deferred decisions — are never committed.
-	g   *lattice.Graph // window graph with temporal boundary
+	g   *lattice.Graph // shared window graph with temporal boundary
 	dec *core.Decoder
 
 	finals map[int]*core.Decoder // closed-graph decoders for Flush, by layer count
 	closed map[int]*lattice.Graph
 
-	buffer    [][]int32 // buffered detection events per layer (ancilla indices)
-	carry     []int32   // seam toggles for the next window's first layer
-	base      int       // global index of buffer[0]
-	committed []Correction
+	// The layer ring: Window slots of perWords words each, slot
+	// (ringStart+t) % Window holding buffered layer t's detection events as
+	// a bitset over ancilla indices. Bit-set ingestion dedupes for free, and
+	// scanning slots in layer order yields the defect list already sorted.
+	per       int
+	perWords  int
+	ring      []uint64
+	ringStart int
+	ringLen   int
 
-	defects []int32 // scratch
-	seam    map[int32]bool
+	base      int // global index of buffered layer 0
+	committed []Correction
+	sink      func(Correction)
+	defects   []int32 // scratch, in window-local vertex ids
 }
 
 // New creates a streaming decoder. window == 0 selects d; commit == 0
@@ -95,65 +111,93 @@ func New(distance, window, commit int) (*Decoder, error) {
 	if commit < 1 || commit >= window {
 		return nil, fmt.Errorf("stream: commit %d outside [1, %d); committing a full window would finalize its deferred boundary matches", commit, window)
 	}
-	g := lattice.New3DWindow(distance, window)
+	g := lattice.Cached3DWindow(distance, window)
+	per := distance * (distance - 1)
+	perWords := (per + 63) / 64
 	return &Decoder{
 		Distance: distance,
 		Window:   window,
 		Commit:   commit,
 		g:        g,
-		dec:      core.NewDecoder(g, core.Options{}),
+		dec:      core.NewDecoder(g, core.Options{LeanStats: true, SparseShortcut: true}),
 		finals:   map[int]*core.Decoder{},
 		closed:   map[int]*lattice.Graph{},
-		seam:     map[int32]bool{},
+		per:      per,
+		perWords: perWords,
+		ring:     make([]uint64, window*perWords),
 	}, nil
 }
 
+// SetSink routes every committed correction to fn the moment it is
+// finalized, instead of retaining it for Committed/Flush. With a sink
+// installed the decoder holds no per-correction state, so an unbounded
+// stream runs in O(Window) memory and the steady-state push path performs
+// no allocation. Passing nil restores the retaining behavior.
+func (d *Decoder) SetSink(fn func(Correction)) { d.sink = fn }
+
+// slotWords returns the ring words of buffered layer t.
+func (d *Decoder) slotWords(t int) []uint64 {
+	// ringStart and t are both below Window, so one conditional subtract
+	// replaces an integer division on the hot path.
+	s := d.ringStart + t
+	if s >= d.Window {
+		s -= d.Window
+	}
+	return d.ring[s*d.perWords : (s+1)*d.perWords]
+}
+
+// Buffered returns the number of layers currently buffered (always below
+// Window between calls, since a full window is decoded immediately).
+func (d *Decoder) Buffered() int { return d.ringLen }
+
 // PushLayer feeds one round's detection events (per-layer ancilla indices,
-// 0 <= index < d(d-1)). The slice is copied; duplicate indices within a
-// round are ignored (a detection event either happened or it did not).
+// 0 <= index < d(d-1)). The slice is not retained; duplicate indices within
+// a round are ignored (a detection event either happened or it did not).
 // Indices outside the ancilla range panic — they indicate a framing bug in
 // the caller, not a noisy channel. Whenever a full window is buffered, it
 // is decoded and its commit region finalized.
 func (d *Decoder) PushLayer(events []int32) {
-	per := int32(d.Distance * (d.Distance - 1))
-	layer := make([]int32, 0, len(events))
+	w := d.slotWords(d.ringLen)
+	per := int32(d.per)
 	for _, x := range events {
 		if x < 0 || x >= per {
 			panic(fmt.Sprintf("stream: ancilla index %d outside [0,%d)", x, per))
 		}
-		dup := false
-		for _, y := range layer {
-			if y == x {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			layer = append(layer, x)
-		}
+		w[x>>6] |= 1 << (uint(x) & 63)
 	}
-	d.buffer = append(d.buffer, layer)
-	if len(d.buffer) >= d.Window {
+	d.ringLen++
+	if d.ringLen >= d.Window {
 		d.decodeWindow(false)
 	}
 }
 
 // Flush decodes any remaining buffered layers as a closed window (the final
-// round of the stream is assumed measured perfectly) and returns all
-// committed corrections. The decoder is left ready for a new stream.
+// round of the stream is assumed measured perfectly) and returns the
+// retained committed corrections (nil when a sink is installed — the sink
+// already received them). The decoder is left ready for a new stream.
 func (d *Decoder) Flush() []Correction {
-	for len(d.buffer) > 0 {
+	for d.ringLen > 0 {
 		d.decodeWindow(true)
 	}
 	out := d.committed
 	d.committed = nil
 	d.base = 0
-	d.carry = nil
+	d.ringStart = 0
 	return out
 }
 
-// Committed returns the corrections finalized so far (without flushing).
+// Committed returns the corrections finalized and retained so far (without
+// flushing). With a sink installed it is always empty.
 func (d *Decoder) Committed() []Correction { return d.committed }
+
+// emit delivers one finalized correction.
+func (d *Decoder) emit(c Correction) {
+	if d.sink != nil {
+		d.sink(c)
+		return
+	}
+	d.committed = append(d.committed, c)
+}
 
 // decodeWindow decodes the current buffer prefix. In sliding mode the
 // prefix is exactly Window layers on the boundary window graph and only
@@ -164,7 +208,7 @@ func (d *Decoder) decodeWindow(final bool) {
 	var dec *core.Decoder
 	var layers, commit int
 	if final {
-		layers = len(d.buffer)
+		layers = d.ringLen
 		commit = layers
 		// A single remaining layer has no temporal structure and is decoded
 		// as a 2-D problem; finalDecoder handles both cases.
@@ -175,38 +219,42 @@ func (d *Decoder) decodeWindow(final bool) {
 		g, dec = d.g, d.dec
 	}
 
-	// Build the defect list in window-local vertex ids, applying carried
-	// seam toggles to layer 0.
-	per := d.Distance * (d.Distance - 1)
+	// Build the defect list in window-local vertex ids. Scanning layers in
+	// order and words in order yields it sorted with no extra pass; the
+	// per-layer vertex offset is the only translation needed. Ring slots are
+	// indexed directly — this loop runs every slide and slice headers per
+	// layer are measurable.
 	d.defects = d.defects[:0]
-	for _, x := range d.carry {
-		d.seam[x] = !d.seam[x]
-	}
 	for t := 0; t < layers; t++ {
-		for _, x := range d.buffer[t] {
-			if t == 0 && d.seam[x] {
-				d.seam[x] = false
-				continue // carried toggle cancels the event
-			}
-			d.defects = append(d.defects, int32(t*per)+x)
+		si := d.ringStart + t
+		if si >= d.Window {
+			si -= d.Window
 		}
-		if t == 0 {
-			// Remaining seam toggles are new events created by the carry.
-			for x, on := range d.seam {
-				if on {
-					d.defects = append(d.defects, x)
-					d.seam[x] = false
-				}
+		wi := si * d.perWords
+		off := int32(t * d.per)
+		for k := 0; k < d.perWords; k++ {
+			w := d.ring[wi+k]
+			base := off + int32(k<<6)
+			for w != 0 {
+				bit := bits.TrailingZeros64(w)
+				d.defects = append(d.defects, base+int32(bit))
+				w &^= 1 << uint(bit)
 			}
 		}
 	}
-	d.carry = d.carry[:0]
-	sortInt32(d.defects)
 
-	corr := dec.Decode(d.defects)
+	// Only edges with Round < commit are kept, so the decoder may skip
+	// defect groups that provably cannot reach the commit region — the
+	// horizon is where a sliding window saves most of its decode work.
+	corr := dec.DecodeHorizon(d.defects, int32(commit))
 
-	// Commit region: record final corrections; temporal edges crossing the
-	// seam toggle the first tentative layer for the next window.
+	// Commit region: record final corrections; a temporal edge crossing the
+	// seam toggles the layer that becomes the next window's first layer —
+	// directly in its ring slot, which the slide below leaves in place.
+	var carry []uint64
+	if !final {
+		carry = d.slotWords(commit)
+	}
 	for _, ei := range corr {
 		e := &g.Edges[ei]
 		round := int(e.Round)
@@ -215,14 +263,13 @@ func (d *Decoder) decodeWindow(final bool) {
 		}
 		switch e.Kind {
 		case lattice.Spatial:
-			d.committed = append(d.committed, Correction{
+			d.emit(Correction{
 				Kind: lattice.Spatial, Qubit: e.Qubit, Ancilla: -1,
 				Round: d.base + round,
 			})
 		case lattice.Temporal:
-			r, c, _ := g.VertexCoords(e.U)
-			x := int32(r*d.Distance + c)
-			d.committed = append(d.committed, Correction{
+			x := g.AncillaIndex(e.U)
+			d.emit(Correction{
 				Kind: lattice.Temporal, Qubit: -1, Ancilla: x,
 				Round: d.base + round,
 			})
@@ -230,42 +277,42 @@ func (d *Decoder) decodeWindow(final bool) {
 				// The edge's far end lies in the tentative region: the
 				// committed measurement-error decision explains the event
 				// at layer `commit`, so cancel it there.
-				d.carry = append(d.carry, x)
+				carry[x>>6] ^= 1 << (uint(x) & 63)
 			}
 		}
 	}
 
-	// Slide the buffer.
-	d.buffer = d.buffer[commit:]
+	// Slide: clear the consumed slots for reuse and advance the ring.
+	for t := 0; t < commit; t++ {
+		si := d.ringStart + t
+		if si >= d.Window {
+			si -= d.Window
+		}
+		wi := si * d.perWords
+		for k := 0; k < d.perWords; k++ {
+			d.ring[wi+k] = 0
+		}
+	}
+	d.ringStart = (d.ringStart + commit) % d.Window
+	d.ringLen -= commit
 	d.base += commit
 }
 
 // finalDecoder returns (building lazily) a closed-graph decoder for the
-// given layer count.
+// given layer count. Graphs come from the process-wide lattice cache, so a
+// thousand-stream fleet shares one copy per shape.
 func (d *Decoder) finalDecoder(layers int) (*lattice.Graph, *core.Decoder) {
 	if dec, ok := d.finals[layers]; ok {
 		return d.closed[layers], dec
 	}
 	var g *lattice.Graph
 	if layers == 1 {
-		g = lattice.New2D(d.Distance)
+		g = lattice.Cached2D(d.Distance)
 	} else {
-		g = lattice.New3D(d.Distance, layers)
+		g = lattice.Cached3D(d.Distance, layers)
 	}
-	dec := core.NewDecoder(g, core.Options{})
+	dec := core.NewDecoder(g, core.Options{LeanStats: true, SparseShortcut: true})
 	d.finals[layers] = dec
 	d.closed[layers] = g
 	return g, dec
-}
-
-func sortInt32(a []int32) {
-	for i := 1; i < len(a); i++ {
-		v := a[i]
-		j := i - 1
-		for j >= 0 && a[j] > v {
-			a[j+1] = a[j]
-			j--
-		}
-		a[j+1] = v
-	}
 }

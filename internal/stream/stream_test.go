@@ -8,8 +8,9 @@ import (
 )
 
 // feed splits a closed-graph trial (T detector layers) into per-layer
-// detection events and streams them through the decoder.
-func feed(d *Decoder, g *lattice.Graph, defects []int32) {
+// detection events and streams them through the decoder (either the ring
+// Decoder or the pre-rebuild Baseline).
+func feed(d pusher, g *lattice.Graph, defects []int32) {
 	per := g.LayerVertices()
 	layers := make([][]int32, g.Rounds)
 	for _, v := range defects {

@@ -2,6 +2,7 @@ package afs
 
 import (
 	"afs/internal/lattice"
+	"afs/internal/noise"
 	"afs/internal/stream"
 )
 
@@ -12,8 +13,11 @@ type StreamCorrection = stream.Correction
 // StreamDecoder decodes an unbounded stream of syndrome rounds with
 // sliding decoding windows — the continuous-operation mode a deployed AFS
 // decoder runs in. Rounds are fed with PushRound; corrections become final
-// window by window and are retrieved with Committed or, at the end of the
-// stream, Flush.
+// window by window and are delivered through the OnCorrection sink, or —
+// when no sink is installed — retained for retrieval with Committed and,
+// at the end of the stream, Flush. For unbounded streams install a sink:
+// the decoder then holds no per-correction state, runs in O(window)
+// memory, and its steady-state push path performs no allocation.
 type StreamDecoder struct {
 	inner *stream.Decoder
 }
@@ -40,14 +44,35 @@ func (s *StreamDecoder) Window() int { return s.inner.Window }
 // in [0, d(d-1))). The slice is copied.
 func (s *StreamDecoder) PushRound(events []int32) { s.inner.PushLayer(events) }
 
-// Committed returns the corrections finalized so far.
+// OnCorrection routes every committed correction to fn the moment it is
+// finalized instead of retaining it (Committed then stays empty and Flush
+// returns nil). Passing nil restores the retaining behavior.
+func (s *StreamDecoder) OnCorrection(fn func(StreamCorrection)) { s.inner.SetSink(fn) }
+
+// Committed returns the corrections finalized and retained so far. With an
+// OnCorrection sink installed it is always empty.
 func (s *StreamDecoder) Committed() []StreamCorrection { return s.inner.Committed() }
 
 // Flush ends the stream (its final round is taken as perfectly measured),
-// decodes the remaining buffered rounds, and returns every committed
-// correction. The decoder is reusable afterwards.
+// decodes the remaining buffered rounds, and returns every retained
+// committed correction (nil when an OnCorrection sink is installed — the
+// sink already received them). The decoder is reusable afterwards.
 func (s *StreamDecoder) Flush() []StreamCorrection { return s.inner.Flush() }
 
 // IsDataCorrection reports whether c fixes a data qubit (as opposed to
 // flagging a measurement error).
 func IsDataCorrection(c StreamCorrection) bool { return c.Kind == lattice.Spatial }
+
+// StreamRoundSampler draws phenomenological noise round by round for one
+// logical qubit — the event shape StreamDecoder.PushRound consumes. Each
+// round every data qubit errs with probability p (accumulating until
+// corrected) and every measurement flips with probability p; the emitted
+// detection events are the XOR of consecutive observed syndromes. The
+// steady-state SampleRound path performs no allocation.
+type StreamRoundSampler = noise.RoundSampler
+
+// NewStreamRoundSampler creates a per-round noise sampler for a distance-d
+// code at physical error rate p. Distinct streams must use distinct seeds.
+func NewStreamRoundSampler(distance int, p float64, seed uint64) *StreamRoundSampler {
+	return noise.NewRoundSampler(distance, p, seed, 1)
+}

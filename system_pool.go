@@ -5,6 +5,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"afs/internal/noise"
+	"afs/internal/stream"
 )
 
 // System manages the decoding subsystem of an FTQC with many logical
@@ -53,14 +56,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	if cfg.P < 0 || cfg.P >= 1 {
 		return nil, fmt.Errorf("afs: physical error rate %v outside [0,1)", cfg.P)
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > cfg.LogicalQubits {
-		workers = cfg.LogicalQubits
-	}
-	s := &System{workers: workers}
+	s := &System{workers: clampWorkers(cfg.Workers, cfg.LogicalQubits)}
 	for i := 0; i < cfg.LogicalQubits; i++ {
 		q := NewLogicalQubit(cfg.Distance, cfg.EngineOptions...)
 		s.qubits = append(s.qubits, q)
@@ -170,3 +166,115 @@ func (s *System) MaxLatencyNS() float64 {
 func (s *System) Memory() MemoryBreakdown {
 	return SystemMemory(len(s.qubits), s.qubits[0].Distance(), false)
 }
+
+// clampWorkers resolves a requested worker count against a fleet size:
+// 0 selects GOMAXPROCS, and the pool never exceeds one worker per unit of
+// work.
+func clampWorkers(requested, units int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > units {
+		w = units
+	}
+	return w
+}
+
+// StreamEngine runs L continuously-decoded logical-qubit streams — the
+// deployed shape of the paper's decoding subsystem, where System runs
+// isolated logical cycles. Each stream is a sliding-window StreamDecoder
+// fed round by round from its own seeded noise source, and the fleet
+// decodes over a persistent worker pool. For a fixed Seed the committed
+// corrections are bit-identical regardless of Workers.
+type StreamEngine struct {
+	eng      *stream.Engine
+	samplers []*noise.RoundSampler
+	rounds   uint64
+}
+
+// StreamEngineConfig configures a StreamEngine.
+type StreamEngineConfig struct {
+	// Streams is the number of logical-qubit streams L.
+	Streams int
+	// Distance is the code distance d.
+	Distance int
+	// Window and Commit configure every stream's decoding window, with the
+	// same defaults as NewStreamDecoder.
+	Window, Commit int
+	// P is the physical error rate per round (data error and measurement
+	// flip) of every stream.
+	P float64
+	// Seed makes the whole fleet reproducible.
+	Seed uint64
+	// Workers bounds decode parallelism; 0 selects GOMAXPROCS. It is
+	// clamped to Streams.
+	Workers int
+	// OnCorrection, when non-nil, receives every committed correction with
+	// its stream index; otherwise corrections are retained per stream for
+	// Committed. Calls for one stream are serialized; calls for different
+	// streams may be concurrent.
+	OnCorrection func(stream int, c StreamCorrection)
+}
+
+// NewStreamEngine builds the fleet and starts its worker pool. Callers
+// should Close the engine when done.
+func NewStreamEngine(cfg StreamEngineConfig) (*StreamEngine, error) {
+	if cfg.P < 0 || cfg.P >= 1 {
+		return nil, fmt.Errorf("afs: physical error rate %v outside [0,1)", cfg.P)
+	}
+	eng, err := stream.NewEngine(stream.EngineConfig{
+		Streams:  cfg.Streams,
+		Distance: cfg.Distance,
+		Window:   cfg.Window,
+		Commit:   cfg.Commit,
+		Workers:  clampWorkers(cfg.Workers, cfg.Streams),
+		Sink:     cfg.OnCorrection,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e := &StreamEngine{eng: eng}
+	for i := 0; i < cfg.Streams; i++ {
+		e.samplers = append(e.samplers,
+			noise.NewRoundSampler(cfg.Distance, cfg.P, cfg.Seed+uint64(i)*0x9e37, uint64(i)+1))
+	}
+	return e, nil
+}
+
+// RunRounds advances every stream by n rounds: each stream samples its own
+// noise and decodes whenever a window fills. Each stream's sampler advances
+// only under the worker that claimed it, so the run is deterministic for
+// any worker count.
+func (e *StreamEngine) RunRounds(n int) {
+	if n <= 0 {
+		return
+	}
+	e.eng.RunRounds(n, func(stream, _ int) []int32 {
+		return e.samplers[stream].SampleRound()
+	})
+	e.rounds += uint64(n)
+}
+
+// Flush ends every stream (decoding remainders as closed windows). The
+// engine can keep running new rounds afterwards.
+func (e *StreamEngine) Flush() { e.eng.Flush() }
+
+// Rounds returns the rounds fed to each stream so far.
+func (e *StreamEngine) Rounds() uint64 { return e.rounds }
+
+// Streams returns the fleet size L.
+func (e *StreamEngine) Streams() int { return e.eng.Streams() }
+
+// Workers returns the worker-pool size in use.
+func (e *StreamEngine) Workers() int { return e.eng.Workers() }
+
+// Committed returns the corrections retained for stream i (engine built
+// without an OnCorrection sink).
+func (e *StreamEngine) Committed(i int) []StreamCorrection { return e.eng.Committed(i) }
+
+// TotalCorrections returns the corrections committed across the fleet.
+func (e *StreamEngine) TotalCorrections() uint64 { return e.eng.TotalCorrections() }
+
+// Close shuts the worker pool down; the engine must not be used afterwards.
+func (e *StreamEngine) Close() { e.eng.Close() }

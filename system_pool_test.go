@@ -122,6 +122,92 @@ func TestSystemDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+func TestStreamEngineValidation(t *testing.T) {
+	if _, err := NewStreamEngine(StreamEngineConfig{Streams: 0, Distance: 5, P: 0.01}); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+	if _, err := NewStreamEngine(StreamEngineConfig{Streams: 2, Distance: 1, P: 0.01}); err == nil {
+		t.Fatal("d=1 accepted")
+	}
+	if _, err := NewStreamEngine(StreamEngineConfig{Streams: 2, Distance: 5, P: 2}); err == nil {
+		t.Fatal("p=2 accepted")
+	}
+	eng, err := NewStreamEngine(StreamEngineConfig{Streams: 3, Distance: 5, P: 0.01, Workers: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if eng.Workers() != 3 || eng.Streams() != 3 {
+		t.Fatalf("workers/streams = %d/%d", eng.Workers(), eng.Streams())
+	}
+}
+
+func TestStreamEngineRunsAndRetains(t *testing.T) {
+	eng, err := NewStreamEngine(StreamEngineConfig{
+		Streams: 4, Distance: 5, P: 0.01, Seed: 3, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	eng.RunRounds(300)
+	eng.Flush()
+	if eng.Rounds() != 300 {
+		t.Fatalf("rounds = %d", eng.Rounds())
+	}
+	var sum uint64
+	for i := 0; i < eng.Streams(); i++ {
+		for _, c := range eng.Committed(i) {
+			if c.Round < 0 || c.Round >= 300 {
+				t.Fatalf("stream %d correction outside stream: round %d", i, c.Round)
+			}
+		}
+		sum += uint64(len(eng.Committed(i)))
+	}
+	if sum == 0 || eng.TotalCorrections() != sum {
+		t.Fatalf("retained %d corrections, total says %d", sum, eng.TotalCorrections())
+	}
+}
+
+// TestStreamEngineDeterministicAcrossWorkerCounts is the streaming
+// counterpart of the System test above — and a PR acceptance criterion:
+// for a fixed seed the fleet's committed corrections must be bit-identical
+// no matter how many workers decode it.
+func TestStreamEngineDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) [][]StreamCorrection {
+		out := make([][]StreamCorrection, 6)
+		eng, err := NewStreamEngine(StreamEngineConfig{
+			Streams: 6, Distance: 5, P: 0.01, Seed: 11, Workers: workers,
+			OnCorrection: func(stream int, c StreamCorrection) {
+				out[stream] = append(out[stream], c)
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eng.Close()
+		eng.RunRounds(400)
+		eng.Flush()
+		return out
+	}
+	want := run(1)
+	for _, workers := range []int{2, 4, 6} {
+		got := run(workers)
+		for i := range want {
+			if len(got[i]) != len(want[i]) {
+				t.Fatalf("workers=%d stream %d: %d corrections vs %d with workers=1",
+					workers, i, len(got[i]), len(want[i]))
+			}
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("workers=%d stream %d correction %d: %+v vs %+v",
+						workers, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
 func TestSystemFleetLERMatchesSingleQubit(t *testing.T) {
 	if testing.Short() {
 		t.Skip("Monte-Carlo consistency check")

@@ -28,6 +28,42 @@ func TestSteadyStateSampleDecodeZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestStreamSteadyStatePushZeroAllocs audits the streaming hot path: a
+// sliding-window StreamDecoder with an OnCorrection sink, fed pregenerated
+// rounds at the design point (d=11, p=1e-3), must push — including the
+// window decodes and commits the pushes trigger — without touching the
+// heap. This is the property that lets one process decode thousands of
+// logical-qubit streams without GC pressure.
+func TestStreamSteadyStatePushZeroAllocs(t *testing.T) {
+	const d = 11
+	dec, err := afs.NewStreamDecoder(d, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count uint64
+	dec.OnCorrection(func(afs.StreamCorrection) { count++ })
+
+	// Pregenerate rounds so the sampler is out of the measured loop.
+	sampler := afs.NewStreamRoundSampler(d, 1e-3, 9)
+	rounds := make([][]int32, 4096)
+	for i := range rounds {
+		rounds[i] = append([]int32(nil), sampler.SampleRound()...)
+	}
+
+	for i := 0; i < 2000; i++ { // warm to steady state
+		dec.PushRound(rounds[i%len(rounds)])
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		dec.PushRound(rounds[0])
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state PushRound allocates %.2f objects/op, want 0", avg)
+	}
+	if count == 0 {
+		t.Fatal("warm-up committed nothing at p=1e-3")
+	}
+}
+
 // TestSteadyStateZeroAllocsNearThreshold repeats the audit at a high error
 // rate, where syndromes are dense and every scratch structure is stressed.
 func TestSteadyStateZeroAllocsNearThreshold(t *testing.T) {
