@@ -8,7 +8,7 @@
 // Usage:
 //
 //	afs-experiments [-fig3] [-fig8] [-latency] [-fig12] [-table1] [-table2]
-//	                [-fig9] [-fig13] [-fig15] [-compare]
+//	                [-fig9] [-fig13] [-fig15] [-compare] [-faults]
 //	                [-scale N] [-seed S] [-workers W]
 package main
 
@@ -43,6 +43,7 @@ func main() {
 		fig15   = flag.Bool("fig15", false, "Figure 15: syndrome compression ratio")
 		compare = flag.Bool("compare", false, "§V-F: comparison with SFQ decoders incl. threshold estimate")
 		ext     = flag.Bool("extensions", false, "design-space extensions: CDA sweep, ZDR, hierarchical, streaming, backlog")
+		faults  = flag.Bool("faults", false, "robustness: streaming decode under injected link faults and deadlines")
 		scale   = flag.Float64("scale", 1, "multiply every Monte-Carlo trial budget")
 		seed    = flag.Uint64("seed", 2022, "base random seed")
 		workers = flag.Int("workers", 0, "worker goroutines (0 = all CPUs)")
@@ -53,7 +54,7 @@ func main() {
 	opts = options{scale: *scale, seed: *seed, workers: *workers, csvDir: *csvDir, stopRel: *stopRel}
 
 	all := !(*fig3 || *fig8 || *latency || *fig12 || *table1 || *table2 ||
-		*fig9 || *fig13 || *fig15 || *compare || *ext)
+		*fig9 || *fig13 || *fig15 || *compare || *ext || *faults)
 
 	start := time.Now()
 	type experiment struct {
@@ -73,6 +74,7 @@ func main() {
 		{all || *fig15, "Figure 15", runFig15},
 		{all || *compare, "Comparison (§V-F)", runCompare},
 		{all || *ext, "Extensions", runExtensions},
+		{all || *faults, "Fault sweep", runFaultSweep},
 	}
 	for _, e := range experiments {
 		if !e.enabled {

@@ -7,6 +7,7 @@
 //	afs-sim -d 5 -p 0.005 -trials 1000000
 //	afs-sim -d 3,5,7 -p 0.002,0.005,0.01 -decoder mwpm -rounds 1
 //	afs-sim -d 5 -p 0.01 -repeated2d            # Fig. 3(b) protocol
+//	afs-sim -d 5 -p 0.005 -chaos -drop 0.01 -corrupt 0.01 -deadline 350
 package main
 
 import (
@@ -30,6 +31,17 @@ func main() {
 		repeated2d = flag.Bool("repeated2d", false, "run the Figure 3(b) repeated-2-D protocol")
 		seed       = flag.Uint64("seed", 1, "random seed")
 		workers    = flag.Int("workers", 0, "worker goroutines (0 = all CPUs)")
+
+		chaos    = flag.Bool("chaos", false, "run streaming decode under injected link faults")
+		drop     = flag.Float64("drop", 0, "chaos: per-round drop probability on the syndrome link")
+		dup      = flag.Float64("dup", 0, "chaos: per-round duplicate probability")
+		reorder  = flag.Float64("reorder", 0, "chaos: per-round reorder probability")
+		corrupt  = flag.Float64("corrupt", 0, "chaos: per-round bit-flip probability on the framed link")
+		stall    = flag.Float64("stall", 0, "chaos: per-round decoder-stall probability")
+		deadline = flag.Float64("deadline", 0, "per-window decode deadline in model ns (0 = off)")
+		queueCap = flag.Int("queuecap", 0, "decode backlog bound in rounds (0 = off)")
+		window   = flag.Int("window", 0, "chaos: sliding-window length (0 = d)")
+		commit   = flag.Int("commit", 0, "chaos: layers committed per slide (0 = window/2)")
 	)
 	flag.Parse()
 
@@ -40,6 +52,41 @@ func main() {
 	ps, err := parseFloats(*pList)
 	if err != nil {
 		fatalf("bad -p: %v", err)
+	}
+
+	if *chaos {
+		fc := &afs.FaultConfig{
+			Seed:          *seed,
+			DropRate:      *drop,
+			DuplicateRate: *dup,
+			ReorderRate:   *reorder,
+			CorruptRate:   *corrupt,
+			StallRate:     *stall,
+		}
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(w, "d\tp\ttrials\tfailures\tLER\tp_tof\terased\trecovered\tundetected\tsheds\n")
+		for _, d := range distances {
+			for _, p := range ps {
+				r, err := afs.MeasureStreamRobustness(afs.StreamRobustnessConfig{
+					Distance: d, P: p, Trials: int(*trials),
+					Window: *window, Commit: *commit, Rounds: *rounds,
+					Seed: *seed, Workers: *workers,
+					Chaos: fc, DeadlineNS: *deadline, QueueCap: *queueCap,
+				})
+				if err != nil {
+					fatalf("chaos d=%d p=%g: %v", d, p, err)
+				}
+				if err := r.Report.Check(); err != nil {
+					fatalf("chaos d=%d p=%g: fault ledger inconsistent: %v", d, p, err)
+				}
+				fmt.Fprintf(w, "%d\t%g\t%d\t%d\t%.3e\t%.3e\t%d\t%d\t%d\t%d\n",
+					d, p, r.Trials, r.Failures, r.PLogical, r.PTimeout,
+					r.Report.ErasedRounds, r.Report.RecoveredRounds,
+					r.Report.Undetected, r.Report.ShedRounds)
+			}
+		}
+		w.Flush()
+		return
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)

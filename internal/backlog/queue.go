@@ -1,0 +1,97 @@
+package backlog
+
+// BoundedQueue is the online form of the package's D/G/1 model, for use
+// *inside* a running decoder rather than over a pre-measured latency pool:
+// decode jobs arrive on a deterministic clock (one syndrome round per
+// ArrivalNS), a single virtual server consumes model service time, and the
+// backlog — how far the server lags behind arrivals — is bounded. When the
+// lag exceeds Cap arrival periods the queue tells the caller to shed its
+// oldest undecoded work (the paper's backlog problem, resolved by policy
+// instead of by stalling the quantum machine), and it tracks shedding
+// episodes and recoveries so graceful degradation is measurable, not
+// silent.
+//
+// All time is model nanoseconds; nothing reads a wall clock, so runs are
+// bit-identical across worker counts.
+type BoundedQueue struct {
+	// ArrivalNS is the period between job arrivals (a syndrome round).
+	ArrivalNS float64
+	// Cap is the backlog bound in arrival periods; 0 disables shedding.
+	Cap int
+
+	nowNS    float64 // arrival clock
+	freeNS   float64 // when the virtual server frees up
+	shedding bool
+
+	// Sheds counts episodes in which the queue exceeded Cap and began
+	// shedding; Recoveries counts episodes that drained back under Cap/2
+	// (the hysteresis keeps a queue hovering at the bound from flapping).
+	Sheds, Recoveries uint64
+}
+
+// Arrive advances the arrival clock by one period and reports whether the
+// backlog bound is exceeded — i.e. whether the caller should shed its
+// oldest undecoded round.
+func (q *BoundedQueue) Arrive() (shed bool) {
+	q.nowNS += q.ArrivalNS
+	// Idle server and not mid-episode — the fault-free steady state. This
+	// prologue inlines into the per-round ingest path; the episode logic
+	// below stays out of line.
+	if !q.shedding && q.freeNS <= q.nowNS {
+		return false
+	}
+	return q.arrive()
+}
+
+func (q *BoundedQueue) arrive() (shed bool) {
+	if q.Cap <= 0 {
+		return false
+	}
+	lag := q.Lag()
+	if lag > float64(q.Cap) {
+		if !q.shedding {
+			q.shedding = true
+			q.Sheds++
+		}
+		return true
+	}
+	if q.shedding && lag <= float64(q.Cap)/2 {
+		q.shedding = false
+		q.Recoveries++
+	}
+	return false
+}
+
+// Serve charges one decode of serviceNS model nanoseconds to the virtual
+// server and returns the job's response time: queueing delay behind earlier
+// decodes plus its own service. The caller compares it to the deadline.
+func (q *BoundedQueue) Serve(serviceNS float64) (responseNS float64) {
+	start := q.nowNS
+	if q.freeNS > start {
+		start = q.freeNS
+	}
+	q.freeNS = start + serviceNS
+	return q.freeNS - q.nowNS
+}
+
+// Lag is the server's current backlog in arrival periods.
+func (q *BoundedQueue) Lag() float64 {
+	if q.ArrivalNS <= 0 {
+		return 0
+	}
+	lag := (q.freeNS - q.nowNS) / q.ArrivalNS
+	if lag < 0 {
+		return 0
+	}
+	return lag
+}
+
+// Now returns the arrival clock in model nanoseconds.
+func (q *BoundedQueue) Now() float64 { return q.nowNS }
+
+// Reset rewinds the clocks and the shedding state for a new stream; the
+// episode counters are cumulative and survive.
+func (q *BoundedQueue) Reset() {
+	q.nowNS, q.freeNS = 0, 0
+	q.shedding = false
+}

@@ -44,6 +44,16 @@ type Options struct {
 	// profile, and the bookkeeping sits on the decode hot path. The
 	// micro-architecture latency model must run with it off.
 	LeanStats bool
+	// ClusterStats, with LeanStats on, restores just the per-cluster
+	// profiles (Stats.Clusters: vertices, growth steps, defects, boundary
+	// contact) while keeping every per-access counter off. The traversal
+	// already computes those values for peeling, so the cost is one append
+	// per cluster — unlike the full profile, whose per-visit row tracking
+	// and counting Union-Find variants sit on the growth hot path. The
+	// streaming deadline model needs exactly this slice
+	// (microarch.Model.WindowCost) and nothing else. Ignored when
+	// LeanStats is off (the full profile subsumes it).
+	ClusterStats bool
 	// SparseShortcut enables a decision-identical fast path for sparse
 	// syndromes (see sparse.go): isolated adjacent defect pairs and isolated
 	// boundary-adjacent singles are resolved in O(1) each, and only the
@@ -98,6 +108,19 @@ type DecodeStats struct {
 	// Register bit is set, i.e. the rows the ZDR lets the DFS Engine visit
 	// instead of scanning the whole memory.
 	TouchedRows int
+}
+
+// PipelineDefects returns the number of defects that ran the full
+// grow/DFS/peel pipeline this decode — the ones the per-cluster stats
+// cover. The remainder (NumDefects minus this) were resolved in closed form
+// by the sparse shortcut or skipped past a decode horizon; streaming cost
+// models charge them separately (microarch.Model.WindowCost).
+func (st *DecodeStats) PipelineDefects() int {
+	n := 0
+	for _, c := range st.Clusters {
+		n += c.Defects
+	}
+	return n
 }
 
 // Decoder is a reusable Union-Find decoder bound to one decoding graph.
@@ -658,7 +681,7 @@ func (d *Decoder) peelTree(root int32, rootEdge int32, boundary bool) {
 		}
 	}
 
-	if !d.Opts.LeanStats {
+	if !d.Opts.LeanStats || d.Opts.ClusterStats {
 		d.Stats.Clusters = append(d.Stats.Clusters, ClusterStat{
 			Vertices:        vertices,
 			GrowthSteps:     int(d.steps[d.find(root)]),

@@ -119,7 +119,7 @@ func newSparseScratch() sparseScratch {
 		kind: make([]uint8, k), emit: make([]int32, k),
 		mask: make([]uint32, k), pmask: make([]uint32, k),
 		gd: make([]int32, k), reach: make([]int32, k),
-		slow:  make([]int32, 0, k), dirty: make([]int32, 0, k),
+		slow: make([]int32, 0, k), dirty: make([]int32, 0, k),
 	}
 }
 

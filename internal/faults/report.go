@@ -1,0 +1,136 @@
+package faults
+
+import "fmt"
+
+// Injected tallies the faults a Channel actually injected (a rolled fault
+// that provably had no effect on the wire — e.g. corruption flips that
+// cancel — is not counted). Stalls are latency-only faults: they inflate
+// service time but put nothing wrong on the link, so they sit outside the
+// detected/undetected identity.
+type Injected struct {
+	Drops       uint64 `json:"drops"`
+	Duplicates  uint64 `json:"duplicates"`
+	Reorders    uint64 `json:"reorders"`
+	Corruptions uint64 `json:"corruptions"`
+	Stalls      uint64 `json:"stalls"`
+}
+
+// Link returns the link-visible injected faults — the ones the receiver
+// must detect or silently consume.
+func (i Injected) Link() uint64 {
+	return i.Drops + i.Duplicates + i.Reorders + i.Corruptions
+}
+
+// Report is the fault ledger of one stream (or, after Merge, a fleet): what
+// was injected, what the link detected and recovered, what was erased, and
+// how the deadline-aware decode path degraded. Every injected link fault is
+// accounted for — Check enforces the identities the chaos tests rely on.
+type Report struct {
+	// Rounds is the number of syndrome rounds offered to the link.
+	Rounds uint64 `json:"rounds"`
+	// Retries is the number of retransmissions the receiver requested.
+	Retries uint64 `json:"retries"`
+
+	Injected Injected `json:"injected"`
+
+	// Detected counts injected link faults the receiver noticed (CRC or
+	// format failure, sequence gap, duplicate or out-of-order sequence
+	// number); Undetected counts corruptions that passed the CRC and were
+	// delivered as wrong syndromes. Detected+Undetected == Injected.Link().
+	Detected   uint64 `json:"detected"`
+	Undetected uint64 `json:"undetected"`
+
+	// Per-round outcomes; Clean+Recovered+Corrupt+Erased == Rounds.
+	CleanRounds     uint64 `json:"clean_rounds"`     // no fault on the path
+	RecoveredRounds uint64 `json:"recovered_rounds"` // faulted but delivered intact
+	CorruptRounds   uint64 `json:"corrupt_rounds"`   // delivered wrong (undetected)
+	ErasedRounds    uint64 `json:"erased_rounds"`    // retry budget exhausted
+
+	// Stream-runtime counters, filled by the deadline-aware decoder.
+	Windows         uint64  `json:"windows"`          // sliding-window decodes
+	Timeouts        uint64  `json:"timeouts"`         // decodes past the budget
+	DegradedCommits uint64  `json:"degraded_commits"` // one-layer commits: the decode itself overran
+	ShedRounds      uint64  `json:"shed_rounds"`      // rounds dropped by backpressure
+	BacklogSheds    uint64  `json:"backlog_sheds"`    // shedding episodes entered
+	BacklogRecovers uint64  `json:"backlog_recovers"` // episodes the queue drained from
+	PenaltyNS       float64 `json:"penalty_ns"`       // injected service-time inflation charged
+}
+
+// Merge folds o into r (fleet aggregation).
+func (r *Report) Merge(o Report) {
+	r.Rounds += o.Rounds
+	r.Retries += o.Retries
+	r.Injected.Drops += o.Injected.Drops
+	r.Injected.Duplicates += o.Injected.Duplicates
+	r.Injected.Reorders += o.Injected.Reorders
+	r.Injected.Corruptions += o.Injected.Corruptions
+	r.Injected.Stalls += o.Injected.Stalls
+	r.Detected += o.Detected
+	r.Undetected += o.Undetected
+	r.CleanRounds += o.CleanRounds
+	r.RecoveredRounds += o.RecoveredRounds
+	r.CorruptRounds += o.CorruptRounds
+	r.ErasedRounds += o.ErasedRounds
+	r.Windows += o.Windows
+	r.Timeouts += o.Timeouts
+	r.DegradedCommits += o.DegradedCommits
+	r.ShedRounds += o.ShedRounds
+	r.BacklogSheds += o.BacklogSheds
+	r.BacklogRecovers += o.BacklogRecovers
+	r.PenaltyNS += o.PenaltyNS
+}
+
+// PTimeout is the empirical timeout-failure probability per window decode —
+// the p_tof the paper's Eq. 4 requires to stay far below p_log.
+func (r Report) PTimeout() float64 {
+	if r.Windows == 0 {
+		return 0
+	}
+	return float64(r.Timeouts) / float64(r.Windows)
+}
+
+// PErasure is the fraction of rounds lost past the retry budget.
+func (r Report) PErasure() float64 {
+	if r.Rounds == 0 {
+		return 0
+	}
+	return float64(r.ErasedRounds) / float64(r.Rounds)
+}
+
+// Check verifies the ledger's internal identities: every injected link
+// fault is either detected or undetected, every round has exactly one
+// outcome, and the degradation counters are mutually consistent. A non-nil
+// error means the chaos layer lost track of a fault.
+func (r Report) Check() error {
+	if got, want := r.Detected+r.Undetected, r.Injected.Link(); got != want {
+		return fmt.Errorf("faults: detected %d + undetected %d != injected link faults %d",
+			r.Detected, r.Undetected, want)
+	}
+	if got := r.CleanRounds + r.RecoveredRounds + r.CorruptRounds + r.ErasedRounds; got != r.Rounds {
+		return fmt.Errorf("faults: round outcomes %d != rounds %d", got, r.Rounds)
+	}
+	if r.Undetected != r.CorruptRounds {
+		return fmt.Errorf("faults: undetected %d != corrupt rounds %d", r.Undetected, r.CorruptRounds)
+	}
+	if r.DegradedCommits > r.Timeouts {
+		return fmt.Errorf("faults: %d degraded commits over %d timeouts", r.DegradedCommits, r.Timeouts)
+	}
+	if r.Timeouts > r.Windows {
+		return fmt.Errorf("faults: %d timeouts over %d windows", r.Timeouts, r.Windows)
+	}
+	if r.BacklogRecovers > r.BacklogSheds {
+		return fmt.Errorf("faults: %d backlog recoveries over %d shed episodes",
+			r.BacklogRecovers, r.BacklogSheds)
+	}
+	return nil
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"rounds %d (clean %d, recovered %d, corrupt %d, erased %d) | injected: %d drop, %d dup, %d reorder, %d corrupt, %d stall | detected %d, undetected %d, retries %d | windows %d, timeouts %d (p_tof %.2e), shed %d",
+		r.Rounds, r.CleanRounds, r.RecoveredRounds, r.CorruptRounds, r.ErasedRounds,
+		r.Injected.Drops, r.Injected.Duplicates, r.Injected.Reorders,
+		r.Injected.Corruptions, r.Injected.Stalls,
+		r.Detected, r.Undetected, r.Retries,
+		r.Windows, r.Timeouts, r.PTimeout(), r.ShedRounds)
+}

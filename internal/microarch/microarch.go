@@ -132,6 +132,26 @@ func (m Model) Latency(st *core.DecodeStats) Breakdown {
 	return b
 }
 
+// WindowCost estimates the exposed latency of one *streaming-window*
+// decode in model nanoseconds, so the stream runtime can charge each window
+// against a deadline budget deterministically (wall-clock time would break
+// bit-identical replay across worker counts). Defect groups that ran the
+// full grow/DFS/peel pipeline carry per-cluster stats and are charged
+// exactly like Latency; defects the sparse shortcut resolved in closed form
+// carry none, so they are charged the fast path's worst closed-form
+// profile — a pair merging in one growth iteration (Eq. 2 with j=1) and
+// DFS+CORR over its two vertices, i.e. 5 charged operations per pair,
+// 2.5 per defect. Boundary singles cost slightly more per defect (2 growth
+// iterations over ~5 vertices) but are rarer than pairs at deployed error
+// rates; the pair profile is the deliberate middle estimate.
+func (m Model) WindowCost(st *core.DecodeStats) float64 {
+	b := m.Latency(st)
+	if fast := st.NumDefects - st.PipelineDefects(); fast > 0 {
+		b.Exposed += 2.5 * float64(fast) * m.accessNS()
+	}
+	return b.Exposed
+}
+
 // StageUtilization is the fraction of decode time spent in each stage,
 // averaged over a syndrome distribution. These fractions motivate the CDA
 // sharing ratios: stages with low utilization are shared across more

@@ -69,12 +69,12 @@ func NewBaseline(distance, window, commit int) (*Baseline, error) {
 }
 
 // PushLayer feeds one round's detection events, as Decoder.PushLayer.
-func (d *Baseline) PushLayer(events []int32) {
+func (d *Baseline) PushLayer(events []int32) error {
 	per := int32(d.Distance * (d.Distance - 1))
 	layer := make([]int32, 0, len(events))
 	for _, x := range events {
 		if x < 0 || x >= per {
-			panic(fmt.Sprintf("stream: ancilla index %d outside [0,%d)", x, per))
+			return fmt.Errorf("stream: ancilla index %d outside [0,%d)", x, per)
 		}
 		dup := false
 		for _, y := range layer {
@@ -91,6 +91,7 @@ func (d *Baseline) PushLayer(events []int32) {
 	if len(d.buffer) >= d.Window {
 		d.decodeWindow(false)
 	}
+	return nil
 }
 
 // Flush decodes any remaining buffered layers as a closed window and

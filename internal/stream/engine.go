@@ -1,10 +1,13 @@
 package stream
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"afs/internal/faults"
 )
 
 // Engine drives L independent logical-qubit streams over a persistent
@@ -15,21 +18,25 @@ import (
 // shared counter (work stealing, as in the Monte-Carlo engine), so a
 // stream whose window decodes slowly never stalls the others.
 //
-// Determinism: a stream's decoder and its per-stream state advance only
-// under the worker that claimed it for the batch, and committed
-// corrections are collected per stream, so results are bit-identical for a
-// fixed input regardless of the worker count.
+// Determinism: a stream's decoder, its fault channel, and its per-stream
+// state advance only under the worker that claimed it for the batch, and
+// committed corrections are collected per stream, so results are
+// bit-identical for a fixed input regardless of the worker count.
 //
 // Engine methods must not be called concurrently with each other; the
 // concurrency lives inside a batch.
 type Engine struct {
 	decs   []*Decoder
-	retain [][]Correction // per stream, when cfg.Sink == nil
-	totals []uint64       // per stream committed-correction counts
+	chans  []*faults.Channel // per-stream chaos links, nil when cfg.Chaos == nil
+	errs   []error           // per-stream sticky ingestion errors
+	retain [][]Correction    // per stream, when cfg.Sink == nil
+	totals []uint64          // per stream committed-correction counts
 
+	robust  bool // any stream may desync its fill level (degraded commits)
 	workers int
 	jobs    []chan engineJob
 	wg      sync.WaitGroup
+	done    sync.WaitGroup
 	next    atomic.Int64
 	closed  bool
 }
@@ -49,6 +56,14 @@ type EngineConfig struct {
 	// the engine retaining it (Committed then stays empty). Calls for one
 	// stream are serialized; calls for different streams may be concurrent.
 	Sink func(stream int, c Correction)
+	// Robust configures deadline enforcement and backpressure on every
+	// stream decoder; the zero value disables both.
+	Robust Robust
+	// Chaos, when non-nil, injects link faults on every stream's
+	// qubit→decoder channel: each stream gets its own faults.Channel seeded
+	// from Chaos.Seed plus a per-stream offset, so fleet runs are
+	// reproducible and streams fault independently.
+	Chaos *faults.Config
 }
 
 // engineJob is one round batch (or a flush) broadcast to every worker.
@@ -73,7 +88,9 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	}
 	e := &Engine{
 		decs:    make([]*Decoder, cfg.Streams),
+		errs:    make([]error, cfg.Streams),
 		totals:  make([]uint64, cfg.Streams),
+		robust:  cfg.Robust.enabled(),
 		workers: workers,
 	}
 	if cfg.Sink == nil {
@@ -82,6 +99,9 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	for i := 0; i < cfg.Streams; i++ {
 		dec, err := New(cfg.Distance, cfg.Window, cfg.Commit)
 		if err != nil {
+			return nil, err
+		}
+		if err := dec.SetRobust(cfg.Robust); err != nil {
 			return nil, err
 		}
 		i := i
@@ -98,7 +118,17 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		}
 		e.decs[i] = dec
 	}
+	if cfg.Chaos != nil {
+		per := cfg.Distance * (cfg.Distance - 1)
+		e.chans = make([]*faults.Channel, cfg.Streams)
+		for i := range e.chans {
+			c := *cfg.Chaos
+			c.Seed = cfg.Chaos.Seed + uint64(i)*0x9e3779b9
+			e.chans[i] = faults.NewChannel(per, c)
+		}
+	}
 	e.jobs = make([]chan engineJob, workers)
+	e.done.Add(workers)
 	for w := 0; w < workers; w++ {
 		ch := make(chan engineJob, 1)
 		e.jobs[w] = ch
@@ -107,34 +137,63 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	return e, nil
 }
 
+// deliverRound carries one round to stream i — through its fault channel
+// when chaos is configured — and ingests it. Ingestion errors stick to the
+// stream and suppress its remaining rounds in the batch: a framing bug
+// poisons one stream, not the fleet.
+func (e *Engine) deliverRound(i int, events []int32) error {
+	dec := e.decs[i]
+	if e.chans != nil {
+		delivered, erased, pen := e.chans[i].Transfer(events)
+		dec.AddPenaltyNS(pen)
+		if erased {
+			dec.PushErased()
+			return nil
+		}
+		return dec.PushLayer(delivered)
+	}
+	return dec.PushLayer(events)
+}
+
 func (e *Engine) worker(ch chan engineJob) {
+	defer e.done.Done()
 	for job := range ch {
 		for {
 			i := int(e.next.Add(1) - 1)
 			if i >= len(e.decs) {
 				break
 			}
-			dec := e.decs[i]
 			if job.flush {
-				dec.Flush()
+				e.decs[i].Flush()
+				continue
+			}
+			if e.errs[i] != nil {
 				continue
 			}
 			for r := 0; r < job.rounds; r++ {
-				dec.PushLayer(job.feed(i, r))
+				if err := e.deliverRound(i, job.feed(i, r)); err != nil {
+					e.errs[i] = fmt.Errorf("stream %d: %w", i, err)
+					break
+				}
 			}
 		}
 		e.wg.Done()
 	}
 }
 
-// dispatch runs one job across the pool and waits for the barrier.
-func (e *Engine) dispatch(job engineJob) {
+// dispatch runs one job across the pool, waits for the barrier, and
+// reports any sticky per-stream ingestion errors.
+func (e *Engine) dispatch(job engineJob) error {
+	if e.closed {
+		return errors.New("stream: engine used after Close")
+	}
 	e.next.Store(0)
 	e.wg.Add(e.workers)
 	for _, ch := range e.jobs {
 		ch <- job
 	}
 	e.wg.Wait()
+	return errors.Join(e.errs...)
 }
 
 // Streams returns the fleet size L.
@@ -147,47 +206,92 @@ func (e *Engine) Workers() int { return e.workers }
 // concurrently with engine batches.
 func (e *Engine) Decoder(i int) *Decoder { return e.decs[i] }
 
+// FaultReport merges every stream's runtime ledger (windows, timeouts,
+// degraded commits, shedding) with its link channel's ledger (injected and
+// detected faults, retries, erasures) into one fleet-wide report.
+func (e *Engine) FaultReport() faults.Report {
+	var rep faults.Report
+	for i, dec := range e.decs {
+		rep.Merge(dec.Report())
+		if e.chans != nil {
+			rep.Merge(e.chans[i].Report())
+		}
+	}
+	return rep
+}
+
 // RunRounds feeds `rounds` rounds to every stream, pulling each round's
 // detection events from feed(stream, round). feed is invoked exactly once
 // per (stream, round), in round order for any one stream, from the worker
 // that owns the stream for this batch — so a per-stream event source (for
 // example a seeded noise sampler) stays deterministic for any worker
 // count. The returned slice is consumed before the next feed call for the
-// same stream.
-func (e *Engine) RunRounds(rounds int, feed func(stream, round int) []int32) {
+// same stream. A stream whose feed yields an out-of-range index is
+// poisoned (its error is returned, and re-returned by later batches); the
+// other streams keep running.
+func (e *Engine) RunRounds(rounds int, feed func(stream, round int) []int32) error {
 	if rounds <= 0 {
-		return
+		if e.closed {
+			return errors.New("stream: engine used after Close")
+		}
+		return nil
 	}
-	e.dispatch(engineJob{rounds: rounds, feed: feed})
+	return e.dispatch(engineJob{rounds: rounds, feed: feed})
 }
 
 // PushRound feeds one round for all L streams: events[i] holds stream i's
 // detection events. Rounds that cannot trigger a window decode are
 // ingested serially — bit-sets into the ring, far cheaper than a pool
 // barrier — while decode rounds fan the fleet out across the workers.
-func (e *Engine) PushRound(events [][]int32) {
+func (e *Engine) PushRound(events [][]int32) error {
+	if e.closed {
+		return errors.New("stream: engine used after Close")
+	}
 	if len(events) != len(e.decs) {
-		panic(fmt.Sprintf("stream: PushRound got %d event lists for %d streams", len(events), len(e.decs)))
+		return fmt.Errorf("stream: PushRound got %d event lists for %d streams", len(events), len(e.decs))
 	}
-	// All streams ingest in lockstep, so stream 0's fill level is the
-	// fleet's: decide once whether this round completes a window.
-	willDecode := e.decs[0].Buffered()+1 >= e.decs[0].Window
-	if !willDecode || e.workers == 1 {
-		for i, dec := range e.decs {
-			dec.PushLayer(events[i])
+	// Without robust degradation all streams ingest in lockstep, so stream
+	// 0's fill level is the fleet's: decide once whether this round
+	// completes a window. A degraded (deadline-overrun) commit finalizes
+	// fewer layers and desyncs fill levels, so robust engines scan.
+	willDecode := false
+	if e.robust {
+		for _, dec := range e.decs {
+			if dec.Buffered()+1 >= dec.Window {
+				willDecode = true
+				break
+			}
 		}
-		return
+	} else {
+		willDecode = e.decs[0].Buffered()+1 >= e.decs[0].Window
 	}
-	e.dispatch(engineJob{rounds: 1, feed: func(stream, _ int) []int32 {
+	if !willDecode || e.workers == 1 {
+		for i := range e.decs {
+			if e.errs[i] != nil {
+				continue
+			}
+			if err := e.deliverRound(i, events[i]); err != nil {
+				e.errs[i] = fmt.Errorf("stream %d: %w", i, err)
+			}
+		}
+		return errors.Join(e.errs...)
+	}
+	return e.dispatch(engineJob{rounds: 1, feed: func(stream, _ int) []int32 {
 		return events[stream]
 	}})
 }
 
 // Flush ends every stream (decoding remainders as closed windows) and
 // leaves the engine ready for new streams. Corrections flushed this way
-// reach the sink or the retained slices like any others.
-func (e *Engine) Flush() {
-	e.dispatch(engineJob{flush: true})
+// reach the sink or the retained slices like any others. Sticky ingestion
+// errors are returned one last time and cleared — the flushed streams
+// start clean.
+func (e *Engine) Flush() error {
+	err := e.dispatch(engineJob{flush: true})
+	for i := range e.errs {
+		e.errs[i] = nil
+	}
+	return err
 }
 
 // Committed returns the corrections retained for stream i (engine built
@@ -221,7 +325,8 @@ func (e *Engine) TotalCorrections() uint64 {
 	return sum
 }
 
-// Close shuts the worker pool down. The engine must not be used after
+// Close shuts the worker pool down and waits for the workers to exit, so
+// a closed engine leaks no goroutines. The engine must not be used after
 // Close; Close is idempotent.
 func (e *Engine) Close() {
 	if e.closed {
@@ -231,4 +336,5 @@ func (e *Engine) Close() {
 	for _, ch := range e.jobs {
 		close(ch)
 	}
+	e.done.Wait()
 }

@@ -80,7 +80,7 @@ func TestStreamMatchesBaselineExactly(t *testing.T) {
 
 // pusher lets the feed helper serve both the rebuilt Decoder and the
 // preserved Baseline.
-type pusher interface{ PushLayer([]int32) }
+type pusher interface{ PushLayer([]int32) error }
 
 var (
 	_ pusher = (*Decoder)(nil)

@@ -36,8 +36,11 @@ import (
 	"fmt"
 	"math/bits"
 
+	"afs/internal/backlog"
 	"afs/internal/core"
+	"afs/internal/faults"
 	"afs/internal/lattice"
+	"afs/internal/microarch"
 )
 
 // Correction is one committed decoding decision in global stream
@@ -82,10 +85,59 @@ type Decoder struct {
 	ringStart int
 	ringLen   int
 
+	// erased flags the ring slots whose rounds were lost (link erasure or
+	// backpressure shedding): the layer is synthesized empty and the next
+	// window re-derives context instead of the stream stalling.
+	erased []bool
+
 	base      int // global index of buffered layer 0
 	committed []Correction
 	sink      func(Correction)
 	defects   []int32 // scratch, in window-local vertex ids
+
+	// Deadline-aware degradation (SetRobust). All accounting runs in model
+	// nanoseconds — never wall clock — so fixed-seed runs stay bit-identical
+	// across worker counts.
+	robust    Robust
+	robustOn  bool
+	queue     backlog.BoundedQueue
+	penaltyNS float64 // injected service time charged to the next window
+	rep       faults.Report
+}
+
+// Robust configures deadline enforcement and bounded-queue backpressure for
+// a streaming decoder. The zero value disables both.
+type Robust struct {
+	// DeadlineNS is the per-window decode deadline in model nanoseconds
+	// (the paper's CDA timeout is 350 ns inside the 400 ns round): a window
+	// whose model response time — queueing behind earlier windows plus its
+	// own decode cost from Model — exceeds it is recorded as a timeout
+	// failure (Eq. 4's p_tof). A window whose own decode cost exceeds it is
+	// additionally committed degraded (one layer instead of Window/2);
+	// overruns inherited purely from backlog are left to the queue's
+	// shedding, since shrinking the commit would only raise the window
+	// arrival rate. 0 disables deadline enforcement.
+	DeadlineNS float64
+	// Model is the memory-access latency model charged per window decode;
+	// the zero value is the paper's pipelined design point.
+	Model microarch.Model
+	// ArrivalNS is the syndrome-round period; 0 selects
+	// microarch.SyndromeRoundNS (400 ns).
+	ArrivalNS float64
+	// QueueCap bounds the decode backlog in rounds: past it, the oldest
+	// undecoded round is shed (erased) rather than letting the backlog —
+	// and with it every subsequent decode's response time — diverge. 0
+	// disables backpressure.
+	QueueCap int
+}
+
+func (r Robust) enabled() bool { return r.DeadlineNS > 0 || r.QueueCap > 0 }
+
+func (r Robust) arrivalNS() float64 {
+	if r.ArrivalNS <= 0 {
+		return microarch.SyndromeRoundNS
+	}
+	return r.ArrivalNS
 }
 
 // New creates a streaming decoder. window == 0 selects d; commit == 0
@@ -125,7 +177,59 @@ func New(distance, window, commit int) (*Decoder, error) {
 		per:      per,
 		perWords: perWords,
 		ring:     make([]uint64, window*perWords),
+		erased:   make([]bool, window),
 	}, nil
+}
+
+// SetRobust enables (or, with a zero config, disables) deadline enforcement
+// and backpressure. It must be called on an empty decoder — at creation or
+// after Flush — because it swaps the core decoder for one that records the
+// per-cluster execution profile the latency model charges
+// (Options.ClusterStats; one append per full-pipeline cluster, so the
+// hardened fast path stays within a few percent of the lean one).
+func (d *Decoder) SetRobust(cfg Robust) error {
+	if d.ringLen != 0 {
+		return fmt.Errorf("stream: SetRobust on a decoder with %d buffered layers", d.ringLen)
+	}
+	if cfg.DeadlineNS < 0 || cfg.QueueCap < 0 {
+		return fmt.Errorf("stream: negative deadline or queue cap")
+	}
+	wasOn := d.robustOn
+	d.robust = cfg
+	d.robustOn = cfg.enabled()
+	d.queue = backlog.BoundedQueue{ArrivalNS: cfg.arrivalNS(), Cap: cfg.QueueCap}
+	d.penaltyNS = 0
+	if d.robustOn != wasOn {
+		// The deadline model needs per-cluster profiles but none of the
+		// per-access counters, so the robust decoder stays lean and adds
+		// only ClusterStats — the full profile would sit on the growth hot
+		// path and cost ~25% throughput.
+		opts := core.Options{LeanStats: true, ClusterStats: d.robustOn, SparseShortcut: true}
+		d.dec = core.NewDecoder(d.g, opts)
+	}
+	return nil
+}
+
+// AddPenaltyNS charges injected service time (link retries, stalls,
+// reorder buffering — the chaos layer's penalties) to the next window
+// decode's deadline budget.
+func (d *Decoder) AddPenaltyNS(ns float64) {
+	if ns <= 0 {
+		return
+	}
+	d.penaltyNS += ns
+	d.rep.PenaltyNS += ns
+}
+
+// Report returns the decoder's runtime fault ledger: windows decoded,
+// timeout failures, degraded commits, backpressure shedding. Link-side
+// counters live in the faults.Channel that feeds the decoder; merge the two
+// for the full picture.
+func (d *Decoder) Report() faults.Report {
+	rep := d.rep
+	rep.BacklogSheds = d.queue.Sheds
+	rep.BacklogRecovers = d.queue.Recoveries
+	return rep
 }
 
 // SetSink routes every committed correction to fn the moment it is
@@ -153,21 +257,70 @@ func (d *Decoder) Buffered() int { return d.ringLen }
 // PushLayer feeds one round's detection events (per-layer ancilla indices,
 // 0 <= index < d(d-1)). The slice is not retained; duplicate indices within
 // a round are ignored (a detection event either happened or it did not).
-// Indices outside the ancilla range panic — they indicate a framing bug in
-// the caller, not a noisy channel. Whenever a full window is buffered, it
-// is decoded and its commit region finalized.
-func (d *Decoder) PushLayer(events []int32) {
-	w := d.slotWords(d.ringLen)
+// An index outside the ancilla range returns an error before any state
+// changes — malformed input degrades instead of crashing the fleet.
+// Whenever a full window is buffered, it is decoded and its commit region
+// finalized.
+func (d *Decoder) PushLayer(events []int32) error {
 	per := int32(d.per)
 	for _, x := range events {
 		if x < 0 || x >= per {
-			panic(fmt.Sprintf("stream: ancilla index %d outside [0,%d)", x, per))
+			return fmt.Errorf("stream: ancilla index %d outside [0,%d)", x, per)
 		}
+	}
+	d.ingest(events, false)
+	return nil
+}
+
+// PushErased feeds one *erased* round: a round lost on the link (past the
+// retry budget) or shed by backpressure. The layer is synthesized empty and
+// flagged; the window decodes around the gap and the next window re-derives
+// context, so the stream keeps flowing.
+func (d *Decoder) PushErased() {
+	d.ingest(nil, true)
+}
+
+// ingest buffers one layer (validated events, or an erased blank) and
+// decodes when the window fills.
+func (d *Decoder) ingest(events []int32, erased bool) {
+	if d.robustOn && d.queue.Arrive() {
+		d.shedOldest()
+	}
+	si := d.ringStart + d.ringLen
+	if si >= d.Window {
+		si -= d.Window
+	}
+	w := d.ring[si*d.perWords : (si+1)*d.perWords]
+	for _, x := range events {
 		w[x>>6] |= 1 << (uint(x) & 63)
 	}
+	d.erased[si] = erased
 	d.ringLen++
 	if d.ringLen >= d.Window {
 		d.decodeWindow(false)
+	}
+}
+
+// shedOldest implements the bounded queue's shed-oldest policy: the oldest
+// buffered round that still carries data is erased in place, so the decode
+// backlog drains by making future windows cheaper instead of diverging
+// (paper §II-C — an unbounded backlog stalls the machine).
+func (d *Decoder) shedOldest() {
+	for t := 0; t < d.ringLen; t++ {
+		si := d.ringStart + t
+		if si >= d.Window {
+			si -= d.Window
+		}
+		if d.erased[si] {
+			continue
+		}
+		wi := si * d.perWords
+		for k := 0; k < d.perWords; k++ {
+			d.ring[wi+k] = 0
+		}
+		d.erased[si] = true
+		d.rep.ShedRounds++
+		return
 	}
 }
 
@@ -183,6 +336,9 @@ func (d *Decoder) Flush() []Correction {
 	d.committed = nil
 	d.base = 0
 	d.ringStart = 0
+	// A new stream starts with fresh clocks; the fault ledger is cumulative.
+	d.queue.Reset()
+	d.penaltyNS = 0
 	return out
 }
 
@@ -248,6 +404,35 @@ func (d *Decoder) decodeWindow(final bool) {
 	// horizon is where a sliding window saves most of its decode work.
 	corr := dec.DecodeHorizon(d.defects, int32(commit))
 
+	if !final && d.robustOn {
+		// Charge the window against the deadline budget in model time: its
+		// decode cost under the memory-access model, plus any injected link
+		// penalties (retries, stalls), plus queueing behind earlier windows.
+		cost := d.robust.Model.WindowCost(&dec.Stats) + d.penaltyNS
+		d.penaltyNS = 0
+		d.rep.Windows++
+		response := d.queue.Serve(cost)
+		if d.robust.DeadlineNS > 0 && response > d.robust.DeadlineNS {
+			// Deadline overrun: a timeout failure under Eq. 4 (p_tof).
+			d.rep.Timeouts++
+			if cost > d.robust.DeadlineNS {
+				// Degrade only when this window's own decode is over budget:
+				// finalize the oldest layer and defer the rest to the next
+				// window, which re-decodes them with more context. The
+				// horizon-filtered correction is decision-identical to a
+				// full decode's edges below the horizon, so its Round < 1
+				// subset IS the one-layer commit — the commit loop's round
+				// filter extracts it with no second decode. When only
+				// inherited backlog pushed the response over, shrinking the
+				// commit would raise the window arrival rate and deepen the
+				// very backlog it inherited (a metastable cascade); the
+				// bounded queue's shedding is the pressure valve there.
+				d.rep.DegradedCommits++
+				commit = 1
+			}
+		}
+	}
+
 	// Commit region: record final corrections; a temporal edge crossing the
 	// seam toggles the layer that becomes the next window's first layer —
 	// directly in its ring slot, which the slide below leaves in place.
@@ -292,6 +477,7 @@ func (d *Decoder) decodeWindow(final bool) {
 		for k := 0; k < d.perWords; k++ {
 			d.ring[wi+k] = 0
 		}
+		d.erased[si] = false
 	}
 	d.ringStart = (d.ringStart + commit) % d.Window
 	d.ringLen -= commit

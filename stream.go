@@ -41,8 +41,9 @@ func (s *StreamDecoder) Distance() int { return s.inner.Distance }
 func (s *StreamDecoder) Window() int { return s.inner.Window }
 
 // PushRound feeds one round's detection events (per-round ancilla indices
-// in [0, d(d-1))). The slice is copied.
-func (s *StreamDecoder) PushRound(events []int32) { s.inner.PushLayer(events) }
+// in [0, d(d-1))). The slice is copied. An out-of-range index is rejected
+// with an error before any decoder state changes.
+func (s *StreamDecoder) PushRound(events []int32) error { return s.inner.PushLayer(events) }
 
 // OnCorrection routes every committed correction to fn the moment it is
 // finalized instead of retaining it (Committed then stays empty and Flush

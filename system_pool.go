@@ -215,6 +215,18 @@ type StreamEngineConfig struct {
 	// Committed. Calls for one stream are serialized; calls for different
 	// streams may be concurrent.
 	OnCorrection func(stream int, c StreamCorrection)
+	// Chaos, when non-nil, injects seeded link faults (drops, duplicates,
+	// reorders, bit-flips on the CRC-framed link, stalls) on every stream's
+	// qubit→decoder channel. Each stream faults independently but
+	// reproducibly; see FaultReport for the ledger.
+	Chaos *FaultConfig
+	// DeadlineNS enforces a per-window decode deadline in model nanoseconds
+	// (0 disables): overruns are recorded as timeout failures (Eq. 4) and
+	// committed degraded instead of stalling the stream.
+	DeadlineNS float64
+	// QueueCap bounds each stream's decode backlog in rounds (0 disables):
+	// past it the oldest undecoded round is shed and recorded.
+	QueueCap int
 }
 
 // NewStreamEngine builds the fleet and starts its worker pool. Callers
@@ -230,6 +242,11 @@ func NewStreamEngine(cfg StreamEngineConfig) (*StreamEngine, error) {
 		Commit:   cfg.Commit,
 		Workers:  clampWorkers(cfg.Workers, cfg.Streams),
 		Sink:     cfg.OnCorrection,
+		Chaos:    cfg.Chaos,
+		Robust: stream.Robust{
+			DeadlineNS: cfg.DeadlineNS,
+			QueueCap:   cfg.QueueCap,
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -246,19 +263,25 @@ func NewStreamEngine(cfg StreamEngineConfig) (*StreamEngine, error) {
 // noise and decodes whenever a window fills. Each stream's sampler advances
 // only under the worker that claimed it, so the run is deterministic for
 // any worker count.
-func (e *StreamEngine) RunRounds(n int) {
+func (e *StreamEngine) RunRounds(n int) error {
 	if n <= 0 {
-		return
+		return nil
 	}
-	e.eng.RunRounds(n, func(stream, _ int) []int32 {
+	err := e.eng.RunRounds(n, func(stream, _ int) []int32 {
 		return e.samplers[stream].SampleRound()
 	})
 	e.rounds += uint64(n)
+	return err
 }
 
 // Flush ends every stream (decoding remainders as closed windows). The
 // engine can keep running new rounds afterwards.
-func (e *StreamEngine) Flush() { e.eng.Flush() }
+func (e *StreamEngine) Flush() error { return e.eng.Flush() }
+
+// FaultReport returns the fleet-wide fault ledger: faults injected on the
+// links, detections, recoveries, erasures, timeout failures, degraded
+// commits, and backpressure shedding across all streams.
+func (e *StreamEngine) FaultReport() FaultReport { return e.eng.FaultReport() }
 
 // Rounds returns the rounds fed to each stream so far.
 func (e *StreamEngine) Rounds() uint64 { return e.rounds }
