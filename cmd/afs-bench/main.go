@@ -19,12 +19,17 @@
 //     aggregate throughput and scaling efficiency;
 //   - a robustness overhead benchmark: the same single-stream workload
 //     through the fault-free CRC-framed link with deadline enforcement and
-//     backpressure engaged, so the hardening tax is a tracked number.
+//     backpressure engaged, so the hardening tax is a tracked number;
+//   - an observability overhead benchmark: the metric primitives timed in
+//     isolation (counter inc, histogram observe, trace emit, registry
+//     scrape) and the same single-stream workload interleaved with metrics
+//     enabled vs disabled, so the cost of the always-on instrumentation is
+//     a tracked number with a <=2% budget.
 //
 // Usage:
 //
-//	afs-bench [-out BENCH_3.json] [-trials N] [-workers W] [-quick]
-//	          [-ref-tps T] [-ref-label L]
+//	afs-bench [-out BENCH_4.json] [-trials N] [-workers W] [-quick]
+//	          [-ref-tps T] [-ref-label L] [-metrics addr] [-trace file]
 //
 // -ref-tps records an externally measured reference throughput (for
 // example, the repository's seed commit rebuilt and timed on the same
@@ -35,6 +40,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"testing"
@@ -46,6 +52,7 @@ import (
 	"afs/internal/lattice"
 	"afs/internal/montecarlo"
 	"afs/internal/noise"
+	"afs/internal/obs"
 	"afs/internal/stream"
 )
 
@@ -122,6 +129,28 @@ type report struct {
 		ScalingEfficiency float64 `json:"scaling_efficiency_16_to_256"`
 	} `json:"stream"`
 
+	// Obs records the observability layer's cost: the primitives in
+	// isolation, a registry scrape, and the instrumented single-stream
+	// workload A/B'd against the same decoder with metrics disabled. The
+	// acceptance budget for ObsOverhead is 2%.
+	Obs struct {
+		CounterIncNSPerOp  float64 `json:"counter_inc_ns_per_op"`
+		HistObserveNSPerOp float64 `json:"histogram_observe_ns_per_op"`
+		TraceEmitNSPerOp   float64 `json:"trace_emit_ns_per_op"`
+		RegistrySnapshotNS float64 `json:"registry_snapshot_ns"`
+		// Fault-free (plain sliding-window) configuration — the BENCH_3
+		// baseline shape — instrumented vs uninstrumented.
+		ObsOnRoundsPerS  float64 `json:"stream_obs_on_rounds_per_sec"`
+		ObsOffRoundsPerS float64 `json:"stream_obs_off_rounds_per_sec"`
+		ObsOverhead      float64 `json:"obs_overhead_vs_disabled"` // 1 - on/off
+		// Robust (deadline + bounded-queue) configuration, which also pays
+		// for the window-cost and queue-lag histograms.
+		ObsRobustOnRoundsPerS  float64 `json:"stream_obs_robust_on_rounds_per_sec"`
+		ObsRobustOffRoundsPerS float64 `json:"stream_obs_robust_off_rounds_per_sec"`
+		ObsRobustOverhead      float64 `json:"obs_robust_overhead_vs_disabled"`
+		ObsOnAllocsPerOp       float64 `json:"obs_on_push_allocs_per_op"`
+	} `json:"obs"`
+
 	Reference *reference `json:"reference,omitempty"`
 }
 
@@ -151,17 +180,38 @@ type reference struct {
 
 func main() {
 	var (
-		out      = flag.String("out", "BENCH_3.json", "output report path (\"-\" for stdout only)")
+		out      = flag.String("out", "BENCH_4.json", "output report path (\"-\" for stdout only)")
 		trialsN  = flag.Uint64("trials", 20000, "Monte-Carlo trials per sweep point")
 		workers  = flag.Int("workers", 0, "worker goroutines (0 = all CPUs)")
 		quick    = flag.Bool("quick", false, "shrink budgets ~10x for a smoke run")
 		refTPS   = flag.Float64("ref-tps", 0, "externally measured reference sweep trials/sec (for before/after)")
 		refLabel = flag.String("ref-label", "", "provenance of -ref-tps (e.g. a commit hash)")
+
+		metricsAddr = flag.String("metrics", "", "serve live metrics + pprof on this host:port while benchmarking")
+		traceFile   = flag.String("trace", "", "write a Chrome/Perfetto trace of the robust stream benchmark to this file")
 	)
 	flag.Parse()
 
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr, obs.Default())
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "afs-bench: metrics on http://%s/metrics\n", srv.Addr)
+	}
+	var trace *obs.Trace
+	if *traceFile != "" {
+		trace = obs.NewTrace(1 << 20)
+		defer func() {
+			if err := writeTraceFile(*traceFile, trace); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+
 	var r report
-	r.BenchVersion = 3
+	r.BenchVersion = 4
 	r.GeneratedBy = "cmd/afs-bench"
 	r.GoVersion = runtime.Version()
 	r.GOMAXPROCS = runtime.GOMAXPROCS(0)
@@ -251,7 +301,8 @@ func main() {
 		r.EarlyStop.TrialsExecuted, r.EarlyStop.TrialsRequested,
 		r.EarlyStop.PointsStopped, r.EarlyStop.Points, r.EarlyStop.SavingsFactor)
 
-	benchStream(&r, *quick)
+	benchStream(&r, *quick, trace)
+	benchObs(&r, *quick)
 
 	if *refTPS > 0 {
 		r.Reference = &reference{
@@ -265,19 +316,45 @@ func main() {
 
 	buf, err := json.MarshalIndent(&r, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "afs-bench:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	buf = append(buf, '\n')
 	if *out != "-" {
 		if err := os.WriteFile(*out, buf, 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "afs-bench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Printf("\nreport written to %s\n", *out)
-	} else {
-		os.Stdout.Write(buf)
+	} else if _, err := os.Stdout.Write(buf); err != nil {
+		// A broken stdout pipe must not masquerade as a successful run.
+		fatal(err)
 	}
+}
+
+// fatal reports err and exits non-zero — a truncated or missing artifact
+// must never look like success to a calling script.
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "afs-bench:", err)
+	os.Exit(1)
+}
+
+// writeTraceFile exports tr as Chrome trace-event JSON with every write
+// error checked.
+func writeTraceFile(path string, tr *obs.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return fmt.Errorf("trace %s: %v", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("trace %s: %v", path, err)
+	}
+	if n := tr.Dropped(); n > 0 {
+		fmt.Fprintf(os.Stderr, "afs-bench: trace buffer overflowed, %d events dropped\n", n)
+	}
+	return nil
 }
 
 // microPoint times the full steady-state trial pipeline (sample, decode,
@@ -315,7 +392,7 @@ func microPoint(d int, p float64) benchPoint {
 }
 
 // benchStream measures the streaming layer at the paper's design point.
-func benchStream(r *report, quick bool) {
+func benchStream(r *report, quick bool, trace *obs.Trace) {
 	const d = 11
 	const p = 1e-3
 	r.Stream.Distance = d
@@ -404,7 +481,7 @@ func benchStream(r *report, quick bool) {
 	fmt.Printf("rebuilt:  %8.0f rounds/sec (%.2f allocs/round), %.2fx vs baseline\n",
 		r.Stream.RebuiltRoundsPerS, r.Stream.PushAllocsPerOp, r.Stream.SpeedupVsBaseline)
 
-	benchRobust(r, pool, segRounds, segments)
+	benchRobust(r, pool, segRounds, segments, trace)
 
 	// Multi-stream fleets: constant aggregate work (stream-rounds) per
 	// point, end to end (per-stream noise sampling included).
@@ -457,7 +534,7 @@ func benchStream(r *report, quick bool) {
 // decoder enforcing the 350 ns CDA deadline with a bounded backlog —
 // interleaved against a plain rebuilt decoder on the identical rounds, so
 // the robustness tax is an apples-to-apples number.
-func benchRobust(r *report, pool [][]int32, segRounds, segments int) {
+func benchRobust(r *report, pool [][]int32, segRounds, segments int, trace *obs.Trace) {
 	const d = 11
 	robust, err := stream.New(d, d, 0)
 	if err != nil {
@@ -469,6 +546,11 @@ func benchRobust(r *report, pool [][]int32, segRounds, segments int) {
 		os.Exit(1)
 	}
 	robust.SetSink(func(stream.Correction) {})
+	if trace != nil {
+		// -trace records the hardened stream's window/timeout/shed timeline;
+		// the emit cost (~tens of ns per window) rides on the robust side.
+		robust.SetTrace(trace, 0)
+	}
 	plain, err := stream.New(d, d, 0)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "afs-bench:", err)
@@ -560,6 +642,127 @@ func benchRobust(r *report, pool [][]int32, segRounds, segments int) {
 	r.Stream.FramedRoundsPerS = float64(rounds) / time.Since(t0).Seconds()
 	fmt.Printf("framed:   %8.0f rounds/sec (CRC round-trip forced every round)\n",
 		r.Stream.FramedRoundsPerS)
+}
+
+// benchObs measures what the observability layer costs. The primitives are
+// timed in isolation; then the single-stream robust workload — the hottest
+// instrumented path — runs interleaved on two identical decoders, one
+// built with the metrics sink installed (the default) and one with it
+// removed, so the end-to-end overhead is an A/B ratio on the same machine
+// in the same minute. The acceptance budget is 2%.
+func benchObs(r *report, quick bool) {
+	// Primitives on a scratch registry, so the fleet metrics stay clean.
+	reg := obs.New()
+	c := reg.NewCounter("bench_counter", "scratch", 0)
+	h := reg.NewHistogram("bench_hist", "scratch", 0, 800, 40, 0)
+	tr := obs.NewTrace(1 << 10)
+	ev := obs.Event{TS: 1, Dur: 2, Arg: 3, TID: 0, Kind: obs.EvWindow}
+	r.Obs.CounterIncNSPerOp = float64(testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.Inc(i)
+		}
+	}).NsPerOp())
+	r.Obs.HistObserveNSPerOp = float64(testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h.Observe(i, float64(i&1023))
+		}
+	}).NsPerOp())
+	r.Obs.TraceEmitNSPerOp = float64(testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr.Emit(ev) // saturates the buffer; drop-counting is the steady state
+		}
+	}).NsPerOp())
+	// One full Prometheus render of the real (instrumented) registry — the
+	// cost a scrape imposes, which must be negligible and off the hot path.
+	t0 := time.Now()
+	if err := obs.Default().WritePrometheus(io.Discard); err != nil {
+		fatal(err)
+	}
+	r.Obs.RegistrySnapshotNS = float64(time.Since(t0).Nanoseconds())
+
+	const d, p = 11, 1e-3
+	pool := make([][]int32, 1<<14)
+	s := noise.NewRoundSampler(d, p, 4321, 2)
+	for i := range pool {
+		pool[i] = append([]int32(nil), s.SampleRound()...)
+	}
+	segRounds, segments := 2_000, 600
+	if quick {
+		segRounds = 200
+	}
+	mk := func(enabled, robust bool) *stream.Decoder {
+		stream.SetObsEnabled(enabled)
+		defer stream.SetObsEnabled(true) // never leave the process uninstrumented
+		dec, err := stream.New(d, d, 0)
+		if err != nil {
+			fatal(err)
+		}
+		if robust {
+			if err := dec.SetRobust(stream.Robust{DeadlineNS: 350, QueueCap: 16}); err != nil {
+				fatal(err)
+			}
+		}
+		dec.SetSink(func(stream.Correction) {})
+		return dec
+	}
+	// One instrumented-vs-uninstrumented A/B pass over a given decoder
+	// configuration. Two pairs with swapped creation order: an A/A control
+	// shows the second-created decoder of a pair runs ~1% faster
+	// (allocation locality), so one instrumented and one uninstrumented
+	// decoder take each position and the bias cancels in the per-side sums.
+	// Every decoder pushes the identical round sequence each segment — same
+	// defects, same decode work, so the only difference is instrumentation —
+	// and the order within a segment rotates to cancel machine drift.
+	abPass := func(robust bool) (onPerS, offPerS float64, first *stream.Decoder) {
+		on1, off1 := mk(true, robust), mk(false, robust)
+		off2, on2 := mk(false, robust), mk(true, robust)
+		decs := []*stream.Decoder{on1, off1, off2, on2}
+		onDec := []bool{true, false, false, true}
+		for i := 0; i < 4*d; i++ { // steady state
+			for _, dec := range decs {
+				dec.PushLayer(pool[i%len(pool)])
+			}
+		}
+		var onSecs, offSecs float64
+		for seg := 0; seg < segments; seg++ {
+			offIdx := seg * segRounds
+			run := func(dec *stream.Decoder) float64 {
+				t0 := time.Now()
+				for i := 0; i < segRounds; i++ {
+					dec.PushLayer(pool[(offIdx+i)%len(pool)])
+				}
+				return time.Since(t0).Seconds()
+			}
+			for k := 0; k < len(decs); k++ {
+				j := (seg + k) % len(decs)
+				secs := run(decs[j])
+				if onDec[j] {
+					onSecs += secs
+				} else {
+					offSecs += secs
+				}
+			}
+		}
+		total := float64(2 * segRounds * segments)
+		return total / onSecs, total / offSecs, on1
+	}
+	var onPlain *stream.Decoder
+	r.Obs.ObsOnRoundsPerS, r.Obs.ObsOffRoundsPerS, onPlain = abPass(false)
+	r.Obs.ObsOverhead = 1 - r.Obs.ObsOnRoundsPerS/r.Obs.ObsOffRoundsPerS
+	r.Obs.ObsRobustOnRoundsPerS, r.Obs.ObsRobustOffRoundsPerS, _ = abPass(true)
+	r.Obs.ObsRobustOverhead = 1 - r.Obs.ObsRobustOnRoundsPerS/r.Obs.ObsRobustOffRoundsPerS
+	r.Obs.ObsOnAllocsPerOp = testing.AllocsPerRun(500, func() {
+		onPlain.PushLayer(pool[0])
+	})
+
+	fmt.Printf("\n== observability overhead ==\n")
+	fmt.Printf("primitives: counter %.1f ns, histogram %.1f ns, trace emit %.1f ns, scrape %.0f ns\n",
+		r.Obs.CounterIncNSPerOp, r.Obs.HistObserveNSPerOp,
+		r.Obs.TraceEmitNSPerOp, r.Obs.RegistrySnapshotNS)
+	fmt.Printf("fault-free: on %8.0f r/s, off %8.0f r/s, overhead %.2f%% (budget 2%%), %.2f allocs/round\n",
+		r.Obs.ObsOnRoundsPerS, r.Obs.ObsOffRoundsPerS, 100*r.Obs.ObsOverhead, r.Obs.ObsOnAllocsPerOp)
+	fmt.Printf("robust:     on %8.0f r/s, off %8.0f r/s, overhead %.2f%%\n",
+		r.Obs.ObsRobustOnRoundsPerS, r.Obs.ObsRobustOffRoundsPerS, 100*r.Obs.ObsRobustOverhead)
 }
 
 func sampleOnly(d int, p float64) float64 {

@@ -9,33 +9,48 @@ import (
 
 // writeCSV writes one figure's data series under the -csv directory, so
 // the paper's plots can be regenerated with any plotting tool. A missing
-// -csv flag makes this a no-op; write failures are reported but do not
-// abort the experiment run.
+// -csv flag makes this a no-op. Write failures do not abort the remaining
+// experiments, but they are reported and make the process exit non-zero
+// (artifactFailed) — a truncated series must never look complete.
 func writeCSV(name string, header []string, rows [][]string) {
 	if opts.csvDir == "" {
 		return
 	}
-	if err := os.MkdirAll(opts.csvDir, 0o755); err != nil {
+	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+		artifactFailed = true
+	}
+	if err := os.MkdirAll(opts.csvDir, 0o755); err != nil {
+		fail(err)
 		return
 	}
 	path := filepath.Join(opts.csvDir, name+".csv")
 	f, err := os.Create(path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+		fail(err)
 		return
 	}
-	defer f.Close()
 	w := csv.NewWriter(f)
 	if err := w.Write(header); err != nil {
-		fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+		fail(err)
+		f.Close()
 		return
 	}
 	if err := w.WriteAll(rows); err != nil {
-		fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+		fail(err)
+		f.Close()
 		return
 	}
 	w.Flush()
+	if err := w.Error(); err != nil {
+		fail(err)
+		f.Close()
+		return
+	}
+	if err := f.Close(); err != nil {
+		fail(fmt.Errorf("%s: %v", path, err))
+		return
+	}
 	fmt.Printf("[wrote %s]\n", path)
 }
 

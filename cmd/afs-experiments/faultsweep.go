@@ -10,7 +10,8 @@ import (
 // layer: seeded link faults (drops, duplicates, reorders, CRC-framed
 // bit-flips, stalls) sweep from zero to heavy, with the deadline and
 // backpressure machinery engaged. For every point the fault ledger must
-// balance (Report.Check), and the run reports the empirical timeout
+// balance (Report.CheckFinal — every trial's stream is flushed, so open
+// shedding episodes would be a bug), and the run reports the empirical timeout
 // failure rate p_tof next to p_log — the paper's Eq. 4 requires
 // p_tof ≪ p_log for timeouts not to limit the logical error rate.
 func runFaultSweep() {
@@ -36,12 +37,13 @@ func runFaultSweep() {
 			Distance: d, P: p, Trials: n,
 			Seed: opts.seed + 71, Workers: opts.workers,
 			Chaos: chaos, DeadlineNS: 350, QueueCap: 8,
+			Trace: opts.trace,
 		})
 		if err != nil {
 			fmt.Fprintf(w, "%g\terr: %v\n", rate, err)
 			continue
 		}
-		if err := r.Report.Check(); err != nil {
+		if err := r.Report.CheckFinal(); err != nil {
 			fmt.Fprintf(w, "%g\tledger error: %v\n", rate, err)
 			continue
 		}

@@ -10,6 +10,7 @@
 //	afs-experiments [-fig3] [-fig8] [-latency] [-fig12] [-table1] [-table2]
 //	                [-fig9] [-fig13] [-fig15] [-compare] [-faults]
 //	                [-scale N] [-seed S] [-workers W]
+//	                [-metrics host:port] [-trace file.json]
 package main
 
 import (
@@ -18,6 +19,8 @@ import (
 	"os"
 	"text/tabwriter"
 	"time"
+
+	"afs/internal/obs"
 )
 
 type options struct {
@@ -26,9 +29,15 @@ type options struct {
 	workers int
 	csvDir  string
 	stopRel float64
+	trace   *obs.Trace
 }
 
 var opts options
+
+// artifactFailed records that some output artifact (CSV series, trace
+// file) could not be written; the process exits non-zero so scripted runs
+// never mistake a truncated artifact for a complete one.
+var artifactFailed bool
 
 func main() {
 	var (
@@ -49,9 +58,32 @@ func main() {
 		workers = flag.Int("workers", 0, "worker goroutines (0 = all CPUs)")
 		csvDir  = flag.String("csv", "", "also write figure data series as CSV into this directory")
 		stopRel = flag.Float64("stoprel", 0, "stop each accuracy point once the 95% CI half-width falls to this fraction of the rate (0 = run the full budget)")
+
+		metricsAddr = flag.String("metrics", "", "serve live metrics + pprof on this host:port (e.g. 127.0.0.1:9100)")
+		traceFile   = flag.String("trace", "", "write a Chrome/Perfetto trace of the fault sweep to this file")
 	)
 	flag.Parse()
 	opts = options{scale: *scale, seed: *seed, workers: *workers, csvDir: *csvDir, stopRel: *stopRel}
+
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr, obs.Default())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "afs-experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "afs-experiments: metrics on http://%s/metrics\n", srv.Addr)
+	}
+	if *traceFile != "" {
+		opts.trace = obs.NewTrace(1 << 20)
+		defer func() {
+			if err := writeTraceFile(*traceFile, opts.trace); err != nil {
+				fmt.Fprintf(os.Stderr, "afs-experiments: %v\n", err)
+				artifactFailed = true
+			}
+			exitIfArtifactsFailed()
+		}()
+	}
 
 	all := !(*fig3 || *fig8 || *latency || *fig12 || *table1 || *table2 ||
 		*fig9 || *fig13 || *fig15 || *compare || *ext || *faults)
@@ -88,6 +120,40 @@ func main() {
 		fmt.Printf("[%s completed in %v]\n\n", e.name, time.Since(t0).Round(time.Millisecond))
 	}
 	fmt.Printf("all experiments completed in %v\n", time.Since(start).Round(time.Millisecond))
+	if opts.trace == nil {
+		exitIfArtifactsFailed()
+	}
+}
+
+// exitIfArtifactsFailed turns any recorded artifact-write failure into a
+// non-zero exit. When a trace file was requested the call is deferred past
+// the trace export; otherwise it runs at the end of main.
+func exitIfArtifactsFailed() {
+	if artifactFailed {
+		fmt.Fprintln(os.Stderr, "afs-experiments: one or more output artifacts failed to write")
+		os.Exit(1)
+	}
+}
+
+// writeTraceFile exports tr as Chrome trace-event JSON, failing loudly on
+// any write error so a truncated artifact never passes silently.
+func writeTraceFile(path string, tr *obs.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %v", err)
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return fmt.Errorf("trace %s: %v", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("trace %s: %v", path, err)
+	}
+	if n := tr.Dropped(); n > 0 {
+		fmt.Fprintf(os.Stderr, "afs-experiments: trace buffer overflowed, %d events dropped\n", n)
+	}
+	fmt.Printf("[wrote %s]\n", path)
+	return nil
 }
 
 // trials scales a baseline Monte-Carlo budget.

@@ -19,6 +19,7 @@ import (
 	"text/tabwriter"
 
 	"afs"
+	"afs/internal/obs"
 )
 
 func main() {
@@ -42,8 +43,29 @@ func main() {
 		queueCap = flag.Int("queuecap", 0, "decode backlog bound in rounds (0 = off)")
 		window   = flag.Int("window", 0, "chaos: sliding-window length (0 = d)")
 		commit   = flag.Int("commit", 0, "chaos: layers committed per slide (0 = window/2)")
+
+		metricsAddr = flag.String("metrics", "", "serve live metrics + pprof on this host:port (e.g. 127.0.0.1:9100)")
+		traceFile   = flag.String("trace", "", "write a Chrome/Perfetto trace of the chaos run to this file")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr, obs.Default())
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "afs-sim: metrics on http://%s/metrics\n", srv.Addr)
+	}
+	var trace *obs.Trace
+	if *traceFile != "" {
+		trace = obs.NewTrace(1 << 20)
+		defer func() {
+			if err := writeTraceFile(*traceFile, trace); err != nil {
+				fatalf("%v", err)
+			}
+		}()
+	}
 
 	distances, err := parseInts(*dList)
 	if err != nil {
@@ -72,11 +94,14 @@ func main() {
 					Window: *window, Commit: *commit, Rounds: *rounds,
 					Seed: *seed, Workers: *workers,
 					Chaos: fc, DeadlineNS: *deadline, QueueCap: *queueCap,
+					Trace: trace,
 				})
 				if err != nil {
 					fatalf("chaos d=%d p=%g: %v", d, p, err)
 				}
-				if err := r.Report.Check(); err != nil {
+				// Every trial's stream is flushed, so the merged ledger must
+				// balance exactly — including shedding episodes (CheckFinal).
+				if err := r.Report.CheckFinal(); err != nil {
 					fatalf("chaos d=%d p=%g: fault ledger inconsistent: %v", d, p, err)
 				}
 				fmt.Fprintf(w, "%d\t%g\t%d\t%d\t%.3e\t%.3e\t%d\t%d\t%d\t%d\n",
@@ -85,7 +110,9 @@ func main() {
 					r.Report.Undetected, r.Report.ShedRounds)
 			}
 		}
-		w.Flush()
+		if err := w.Flush(); err != nil {
+			fatalf("writing results: %v", err)
+		}
 		return
 	}
 
@@ -112,7 +139,29 @@ func main() {
 				afs.HeuristicLogicalErrorRate(d, p))
 		}
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		fatalf("writing results: %v", err)
+	}
+}
+
+// writeTraceFile exports tr as Chrome trace-event JSON, failing loudly on
+// any write error so a truncated artifact never passes silently.
+func writeTraceFile(path string, tr *obs.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %v", err)
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return fmt.Errorf("trace %s: %v", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("trace %s: %v", path, err)
+	}
+	if n := tr.Dropped(); n > 0 {
+		fmt.Fprintf(os.Stderr, "afs-sim: trace buffer overflowed, %d events dropped\n", n)
+	}
+	return nil
 }
 
 func parseInts(s string) ([]int, error) {

@@ -98,3 +98,42 @@ func TestInvalidInputsPanic(t *testing.T) {
 	mustPanic("empty pool", func() { Simulate(Config{ArrivalNS: 1, Jobs: 1}, nil) })
 	mustPanic("zero jobs", func() { Simulate(Config{ArrivalNS: 1}, []float64{1}) })
 }
+
+// TestBoundedQueueResetClosesOpenEpisode is the regression test for the
+// ledger-drift bug: Reset used to clear the shedding flag without counting
+// a recovery, so a stream reset mid-episode left Sheds permanently ahead of
+// Recoveries and a fleet ledger merged across resets drifted by one per
+// such episode.
+func TestBoundedQueueResetClosesOpenEpisode(t *testing.T) {
+	q := BoundedQueue{ArrivalNS: 400, Cap: 2}
+	q.Serve(10 * 400) // ten periods of backlog against a cap of two
+	for i := 0; i < 3 && !q.Arrive(); i++ {
+	}
+	if q.Sheds != 1 || q.Recoveries != 0 {
+		t.Fatalf("setup: sheds %d, recoveries %d, want 1, 0", q.Sheds, q.Recoveries)
+	}
+	q.Reset()
+	if q.Recoveries != 1 {
+		t.Fatalf("mid-episode Reset counted %d recoveries, want 1", q.Recoveries)
+	}
+	if q.Sheds != q.Recoveries {
+		t.Fatalf("ledger drift after Reset: %d sheds vs %d recoveries", q.Sheds, q.Recoveries)
+	}
+	if q.Now() != 0 || q.Lag() != 0 {
+		t.Fatalf("Reset left clocks running: now %v, lag %v", q.Now(), q.Lag())
+	}
+	// Reset outside an episode must not invent a recovery.
+	q.Reset()
+	if q.Recoveries != 1 {
+		t.Fatalf("idle Reset counted a recovery: %d", q.Recoveries)
+	}
+	// The queue remains usable: a fresh overload opens a new episode.
+	q.Serve(10 * 400)
+	shed := false
+	for i := 0; i < 3 && !shed; i++ {
+		shed = q.Arrive()
+	}
+	if !shed || q.Sheds != 2 {
+		t.Fatalf("queue wedged after Reset: shed=%v sheds=%d", shed, q.Sheds)
+	}
+}

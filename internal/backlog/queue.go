@@ -90,8 +90,15 @@ func (q *BoundedQueue) Lag() float64 {
 func (q *BoundedQueue) Now() float64 { return q.nowNS }
 
 // Reset rewinds the clocks and the shedding state for a new stream; the
-// episode counters are cumulative and survive.
+// episode counters are cumulative and survive. A shedding episode still
+// open when the stream ends is closed here and counted as a recovery —
+// clearing the flag without the count would leave Sheds permanently ahead
+// of Recoveries after a mid-episode reset, and a fleet ledger merged
+// across stream resets would drift by one per such episode.
 func (q *BoundedQueue) Reset() {
+	if q.shedding {
+		q.shedding = false
+		q.Recoveries++
+	}
 	q.nowNS, q.freeNS = 0, 0
-	q.shedding = false
 }

@@ -147,9 +147,10 @@ type Channel struct {
 	link    bool // any wire-visible fault class active (or framing forced)
 	perfect bool // no fault class at all: Transfer is identity + counters
 	rng     *rand.Rand
-	pcg  *rand.PCG
-	seq  uint32
-	rep  Report
+	pcg     *rand.PCG
+	seq     uint32
+	rep     Report
+	omShard int // padded-slot hint for the live link ledger (linkObs)
 
 	frame   []byte  // reused encode buffer
 	corrupt []byte  // reused corrupted-copy buffer
@@ -172,6 +173,7 @@ func NewChannel(per int, cfg Config) *Channel {
 		pcg:     pcg,
 		rng:     rand.New(pcg),
 		out:     make([]int32, 0, per),
+		omShard: int(linkObsShardSeq.Add(1) - 1),
 	}
 }
 
@@ -222,6 +224,11 @@ func (c *Channel) Transfer(events []int32) (delivered []int32, erased bool, pena
 }
 
 func (c *Channel) transfer(events []int32) (delivered []int32, erased bool, penaltyNS float64) {
+	// Publish this round's ledger movement to the live metrics on the way
+	// out. The snapshot-diff keeps the fault logic free of metric calls,
+	// and the open-coded defer plus the stack copies stay allocation-free.
+	before := c.rep
+	defer func() { linkObs.record(c.omShard, before, c.rep, penaltyNS) }()
 	c.rep.Rounds++
 	seq := c.seq
 	c.seq++

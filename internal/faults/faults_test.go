@@ -206,3 +206,29 @@ func TestTransferZeroAllocUnderChaos(t *testing.T) {
 		t.Fatalf("chaos Transfer allocates %.1f/op, want 0", allocs)
 	}
 }
+
+// TestCheckFinalCatchesEpisodeDrift: CheckFinal extends the ledger
+// identities to flushed runs — every shedding episode entered must have
+// been closed. An imbalance is exactly what a reset that silently dropped
+// the shedding flag used to leak.
+func TestCheckFinalCatchesEpisodeDrift(t *testing.T) {
+	rep := Report{
+		Rounds: 10, CleanRounds: 10,
+		Windows: 5, BacklogSheds: 2, BacklogRecovers: 2,
+	}
+	if err := rep.CheckFinal(); err != nil {
+		t.Fatalf("balanced ledger rejected: %v", err)
+	}
+	rep.BacklogRecovers = 1
+	if err := rep.Check(); err != nil {
+		t.Fatalf("Check must tolerate an open episode (live snapshot): %v", err)
+	}
+	if err := rep.CheckFinal(); err == nil {
+		t.Fatal("CheckFinal accepted a never-closed shedding episode")
+	}
+	// CheckFinal still enforces everything Check does.
+	rep.BacklogRecovers = 3
+	if err := rep.CheckFinal(); err == nil {
+		t.Fatal("CheckFinal accepted more recoveries than episodes")
+	}
+}

@@ -1,0 +1,66 @@
+package faults
+
+import (
+	"sync/atomic"
+
+	"afs/internal/obs"
+)
+
+// faultsObs publishes the live link-side ledger: every counter mirrors a
+// Report field, incremented on the same code path that updates the ledger,
+// so a scrape mid-run sees exactly what the merged post-run Report will
+// say. Only fault-active channels pay for it — the perfect-wire fast path
+// (Transfer's inlined prologue) stays untouched, and a perfect link's
+// rounds are already visible through the stream-side counters.
+type faultsObs struct {
+	rounds    *obs.Counter
+	retries   *obs.Counter
+	injected  *obs.Counter // link-visible injected faults (drops+dups+reorders+corruptions)
+	stalls    *obs.Counter
+	detected  *obs.Counter
+	undetect  *obs.Counter
+	recovered *obs.Counter
+	erased    *obs.Counter
+	penaltyNS *obs.Counter // injected service time, in whole model ns
+}
+
+var (
+	linkObs = func() *faultsObs {
+		reg := obs.Default()
+		const s = obs.DefaultShards
+		return &faultsObs{
+			rounds:    reg.NewCounter("afs_link_rounds_total", "rounds carried over fault-active links", s),
+			retries:   reg.NewCounter("afs_link_retries_total", "retransmissions requested by the receiver", s),
+			injected:  reg.NewCounter("afs_link_injected_total", "link-visible faults injected (drop/dup/reorder/corrupt)", s),
+			stalls:    reg.NewCounter("afs_link_stalls_total", "injected decoder stalls", s),
+			detected:  reg.NewCounter("afs_link_detected_total", "injected link faults the receiver detected", s),
+			undetect:  reg.NewCounter("afs_link_undetected_total", "corruptions delivered past the CRC as wrong syndromes", s),
+			recovered: reg.NewCounter("afs_link_recovered_rounds_total", "faulted rounds delivered intact", s),
+			erased:    reg.NewCounter("afs_link_erased_rounds_total", "rounds erased past the retry budget", s),
+			penaltyNS: reg.NewCounter("afs_link_penalty_ns_total", "injected service-time penalty in model ns", s),
+		}
+	}()
+	linkObsShardSeq atomic.Uint32
+)
+
+// record publishes the delta between two ledger snapshots bracketing one
+// transfer. Zero deltas skip the atomic entirely, so a mostly-clean round
+// costs a handful of predictable branches.
+func (o *faultsObs) record(shard int, before, after Report, penaltyNS float64) {
+	o.rounds.Inc(shard)
+	addDelta := func(c *obs.Counter, b, a uint64) {
+		if a != b {
+			c.Add(shard, a-b)
+		}
+	}
+	addDelta(o.retries, before.Retries, after.Retries)
+	addDelta(o.injected, before.Injected.Link(), after.Injected.Link())
+	addDelta(o.stalls, before.Injected.Stalls, after.Injected.Stalls)
+	addDelta(o.detected, before.Detected, after.Detected)
+	addDelta(o.undetect, before.Undetected, after.Undetected)
+	addDelta(o.recovered, before.RecoveredRounds, after.RecoveredRounds)
+	addDelta(o.erased, before.ErasedRounds, after.ErasedRounds)
+	if penaltyNS > 0 {
+		o.penaltyNS.Add(shard, uint64(penaltyNS))
+	}
+}

@@ -125,6 +125,24 @@ func (r Report) Check() error {
 	return nil
 }
 
+// CheckFinal verifies the ledger of a run whose streams have all ended
+// (flushed): on top of Check's identities, every shedding episode entered
+// must have been closed — a stream's Flush closes a still-open episode, so
+// a surviving imbalance is exactly the cross-stream drift a reset that
+// silently cleared the shedding flag used to leak. A live mid-stream
+// snapshot may legitimately hold one open episode per stream; use Check
+// for those.
+func (r Report) CheckFinal() error {
+	if err := r.Check(); err != nil {
+		return err
+	}
+	if r.BacklogSheds != r.BacklogRecovers {
+		return fmt.Errorf("faults: %d shedding episodes never closed (%d sheds, %d recoveries)",
+			r.BacklogSheds-r.BacklogRecovers, r.BacklogSheds, r.BacklogRecovers)
+	}
+	return nil
+}
+
 func (r Report) String() string {
 	return fmt.Sprintf(
 		"rounds %d (clean %d, recovered %d, corrupt %d, erased %d) | injected: %d drop, %d dup, %d reorder, %d corrupt, %d stall | detected %d, undetected %d, retries %d | windows %d, timeouts %d (p_tof %.2e), shed %d",

@@ -79,7 +79,10 @@ func (pt *point) finish(trials, failures, defects uint64) {
 	ci := stats.WilsonInterval(fails, done, 0.95)
 	rate := float64(fails) / float64(done)
 	if (ci.Hi-ci.Lo)/2 <= pt.cfg.StopRelCI*rate {
-		pt.stopped.Store(true)
+		// CAS so concurrent finishers latch (and count) the stop exactly once.
+		if pt.stopped.CompareAndSwap(false, true) {
+			engineObs.earlyStops.Inc(0)
+		}
 	}
 }
 
@@ -124,11 +127,13 @@ func runPoints(points []*point, workers int) {
 	if workers < 1 {
 		workers = 1
 	}
+	engineObs.points.Add(0, uint64(len(points)))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			shard := nextMCShard()
 			var trial noise.Trial
 			var residual noise.Bitset
 			for _, pt := range points {
@@ -163,6 +168,11 @@ func runPoints(points []*point, workers int) {
 						}
 					}
 					pt.finish(hi-lo, failures, defects)
+					engineObs.chunks.Inc(shard)
+					engineObs.trials.Add(shard, hi-lo)
+					if failures != 0 {
+						engineObs.failures.Add(shard, failures)
+					}
 				}
 			}
 		}()

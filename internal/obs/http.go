@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns an http.Handler exposing the registry:
+//
+//	/metrics     Prometheus text exposition
+//	/debug/vars  expvar-style JSON snapshot
+//	/debug/pprof pprof index (profile, heap, goroutine, ...)
+//
+// The handlers only read atomics, so scraping a live fleet never blocks
+// or perturbs the decode hot paths.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = reg.WriteVarsJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "afs metrics endpoint\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// Server is a running metrics endpoint.
+type Server struct {
+	Addr string // actual listen address (resolves ":0" requests)
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// Serve starts an HTTP metrics endpoint for reg on addr (host:port; an
+// empty port picks a free one). It returns once the listener is bound, so
+// a caller can print the resolved address before starting work.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(reg), ReadHeaderTimeout: 5 * time.Second}
+	s := &Server{Addr: ln.Addr().String(), srv: srv, ln: ln}
+	go func() { _ = srv.Serve(ln) }()
+	return s, nil
+}
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }

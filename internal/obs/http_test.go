@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeEndpoints boots a real endpoint on a free port and scrapes it —
+// the smoke test CI runs to guarantee the -metrics flag's plumbing works
+// end to end.
+func TestServeEndpoints(t *testing.T) {
+	r := New()
+	r.NewCounter("afs_smoke_total", "smoke counter", 0).Add(0, 5)
+	s, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := client.Get("http://" + s.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	metrics, ctype := get("/metrics")
+	if !strings.Contains(metrics, "afs_smoke_total 5") {
+		t.Fatalf("/metrics missing counter:\n%s", metrics)
+	}
+	if !strings.Contains(ctype, "text/plain") {
+		t.Fatalf("/metrics content type %q", ctype)
+	}
+
+	vars, ctype := get("/debug/vars")
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(vars), &doc); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v\n%s", err, vars)
+	}
+	if doc["afs_smoke_total"] != float64(5) {
+		t.Fatalf("/debug/vars counter = %v, want 5", doc["afs_smoke_total"])
+	}
+	if !strings.Contains(ctype, "application/json") {
+		t.Fatalf("/debug/vars content type %q", ctype)
+	}
+
+	if index, _ := get("/"); !strings.Contains(index, "/metrics") {
+		t.Fatalf("index page missing endpoint listing:\n%s", index)
+	}
+	if pprofIdx, _ := get("/debug/pprof/"); !strings.Contains(pprofIdx, "goroutine") {
+		t.Fatalf("pprof index missing profiles:\n%s", pprofIdx)
+	}
+
+	resp, err := client.Get("http://" + s.Addr + "/no-such-page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path: status %d, want 404", resp.StatusCode)
+	}
+}

@@ -1,0 +1,445 @@
+// Package obs is the allocation-free observability layer of the decode
+// fleet: lock-free counters and fixed-bin histograms that the hot paths of
+// the streaming decoder, the Monte-Carlo engine, and the chaos layer
+// increment without ever touching the heap or a mutex, plus a deterministic
+// model-time event trace (trace.go) and an optional HTTP endpoint
+// (http.go) that renders everything as Prometheus text, expvar-style JSON,
+// and pprof profiles.
+//
+// The design constraints come from the rest of the repository:
+//
+//   - zero allocations in steady state: incrementing a Counter or observing
+//     into a Histogram is a single atomic add into a preallocated slot, so
+//     the test-enforced 0 allocs/op properties of the decode hot paths
+//     survive instrumentation;
+//   - no perturbation: metrics are pure sinks — nothing in the decode path
+//     ever reads them — so fixed-seed results stay bit-identical across
+//     worker counts whether or not anything is scraping;
+//   - low contention: every metric is sharded over cache-line-padded slots;
+//     concurrent writers on different shards never share a line, and a
+//     snapshot simply sums the shards (values are monotone, and a scrape
+//     racing an increment reads a valid slightly-stale total).
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// cacheLine is the padding granularity for shard slots. 128 bytes covers
+// the spatial-prefetcher pairing on current x86 parts.
+const cacheLine = 128
+
+// DefaultShards is the shard count used by the package-level convenience
+// constructors. It must be a power of two; writers pick shards by masking,
+// so any int (a stream index, a worker index) is a valid shard hint.
+const DefaultShards = 8
+
+// padSlot is one cache-line-padded uint64.
+type padSlot struct {
+	v uint64
+	_ [cacheLine - 8]byte
+}
+
+// Counter is a monotone, sharded, lock-free counter. Writers add into the
+// shard named by an arbitrary hint (stream or worker index — masked to the
+// shard count), readers sum all shards. The zero Counter is not usable;
+// construct through a Registry.
+type Counter struct {
+	name, help string
+	shards     []padSlot
+	mask       uint32
+}
+
+// Inc adds one to the counter in the hinted shard.
+func (c *Counter) Inc(shard int) { c.Add(shard, 1) }
+
+// Add adds n to the counter in the hinted shard.
+func (c *Counter) Add(shard int, n uint64) {
+	atomic.AddUint64(&c.shards[uint32(shard)&c.mask].v, n)
+}
+
+// Value returns the counter's current total across all shards. A Value
+// concurrent with writers is a valid point-in-time lower bound (each shard
+// is read atomically; the sum may lag increments that land mid-scan).
+func (c *Counter) Value() uint64 {
+	var sum uint64
+	for i := range c.shards {
+		sum += atomic.LoadUint64(&c.shards[i].v)
+	}
+	return sum
+}
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Histogram is a sharded fixed-width-bin histogram over [Lo, Hi). Samples
+// below Lo or at/above Hi land in underflow/overflow slots, so every
+// observation is accounted. Observing is one atomic add into the writer's
+// shard row (rows are cache-line padded); Snapshot merges the rows.
+type Histogram struct {
+	name, help string
+	lo, hi     float64
+	width      float64 // bin width
+	invWidth   float64 // 1/width — binning multiplies instead of dividing
+	nbins      int
+	stride     int // uint64 slots per shard row, padded to cache lines
+	mask       uint32
+	counts     []uint64  // shards * stride; per row: [0]=under, [1..nbins]=bins, [nbins+1]=over
+	sums       []padSlot // per-shard float64 sum, as math.Float64bits
+}
+
+// Observe records one sample into the hinted shard.
+func (h *Histogram) Observe(shard int, x float64) {
+	row := int(uint32(shard)&h.mask) * h.stride
+	var slot int
+	switch {
+	case math.IsNaN(x):
+		return // an unmeasurable sample carries no information
+	case x < h.lo:
+		slot = 0
+	case x >= h.hi:
+		slot = h.nbins + 1
+	default:
+		i := int((x - h.lo) * h.invWidth)
+		if i >= h.nbins { // floating-point edge
+			i = h.nbins - 1
+		}
+		slot = i + 1
+	}
+	atomic.AddUint64(&h.counts[row+slot], 1)
+	// Lock-free float accumulation: CAS on the bit pattern. Contention is
+	// bounded by the shard fan-out and observation rates (per decode
+	// window, not per round), so the loop settles immediately in practice.
+	s := &h.sums[uint32(shard)&h.mask].v
+	for {
+		old := atomic.LoadUint64(s)
+		next := math.Float64bits(math.Float64frombits(old) + x)
+		if atomic.CompareAndSwapUint64(s, old, next) {
+			return
+		}
+	}
+}
+
+// HistSnapshot is a merged point-in-time view of a Histogram.
+type HistSnapshot struct {
+	Lo, Hi      float64
+	Buckets     []uint64 // len = bin count
+	Under, Over uint64
+	Count       uint64 // Under + sum(Buckets) + Over
+	Sum         float64
+}
+
+// UpperEdge returns the exclusive upper edge of bucket i.
+func (s *HistSnapshot) UpperEdge(i int) float64 {
+	return s.Lo + (s.Hi-s.Lo)*float64(i+1)/float64(len(s.Buckets))
+}
+
+// Snapshot merges all shards. Concurrent with writers it returns a valid
+// slightly-stale view (every slot is read atomically).
+func (h *Histogram) Snapshot() HistSnapshot {
+	out := HistSnapshot{Lo: h.lo, Hi: h.hi, Buckets: make([]uint64, h.nbins)}
+	shards := int(h.mask) + 1
+	for s := 0; s < shards; s++ {
+		row := s * h.stride
+		out.Under += atomic.LoadUint64(&h.counts[row])
+		for i := 0; i < h.nbins; i++ {
+			out.Buckets[i] += atomic.LoadUint64(&h.counts[row+1+i])
+		}
+		out.Over += atomic.LoadUint64(&h.counts[row+h.nbins+1])
+		out.Sum += math.Float64frombits(atomic.LoadUint64(&h.sums[s].v))
+	}
+	out.Count = out.Under + out.Over
+	for _, b := range out.Buckets {
+		out.Count += b
+	}
+	return out
+}
+
+// Name returns the histogram's registered name.
+func (h *Histogram) Name() string { return h.name }
+
+// LocalHist is a single-owner accumulation buffer in front of a Histogram:
+// Observe is plain (non-atomic) arithmetic into a private bin array, and
+// Flush merges the buffered samples into the shared histogram in a handful
+// of atomic adds. Hot paths that observe per event but can publish per
+// batch (the stream decoder flushes every few dozen windows) use it to
+// keep the per-event cost to a couple of plain adds. Not safe for
+// concurrent use; each owner builds its own with Histogram.NewLocal.
+type LocalHist struct {
+	h    *Histogram
+	bins []uint64 // same layout as a shard row: [0]=under, [1..nbins]=bins, [nbins+1]=over
+	sum  float64
+	n    uint64
+}
+
+// NewLocal returns a fresh accumulation buffer for h. The buffer allocates
+// once here; Observe and Flush never allocate.
+func (h *Histogram) NewLocal() *LocalHist {
+	return &LocalHist{h: h, bins: make([]uint64, h.nbins+2)}
+}
+
+// Observe buffers one sample locally (no atomics).
+func (l *LocalHist) Observe(x float64) {
+	h := l.h
+	var slot int
+	switch {
+	case math.IsNaN(x):
+		return // an unmeasurable sample carries no information
+	case x < h.lo:
+		slot = 0
+	case x >= h.hi:
+		slot = h.nbins + 1
+	default:
+		i := int((x - h.lo) * h.invWidth)
+		if i >= h.nbins { // floating-point edge
+			i = h.nbins - 1
+		}
+		slot = i + 1
+	}
+	l.bins[slot]++
+	l.sum += x
+	l.n++
+}
+
+// Flush publishes the buffered samples into the shared histogram's hinted
+// shard and resets the buffer. A no-op when nothing is buffered.
+func (l *LocalHist) Flush(shard int) {
+	if l.n == 0 {
+		return
+	}
+	h := l.h
+	row := int(uint32(shard)&h.mask) * h.stride
+	for i, c := range l.bins {
+		if c != 0 {
+			atomic.AddUint64(&h.counts[row+i], c)
+			l.bins[i] = 0
+		}
+	}
+	s := &h.sums[uint32(shard)&h.mask].v
+	for {
+		old := atomic.LoadUint64(s)
+		next := math.Float64bits(math.Float64frombits(old) + l.sum)
+		if atomic.CompareAndSwapUint64(s, old, next) {
+			break
+		}
+	}
+	l.sum = 0
+	l.n = 0
+}
+
+// gauge is a read-time callback metric; the callback must be safe to call
+// from the scrape goroutine (read atomics or immutable state only).
+type gauge struct {
+	name, help string
+	fn         func() float64
+}
+
+// Registry holds named metrics and renders them. Registration takes a
+// mutex; reads and writes of the metrics themselves are lock-free.
+type Registry struct {
+	mu      sync.Mutex
+	order   []string
+	metrics map[string]any // *Counter | *Histogram | gauge
+}
+
+// New creates an empty registry.
+func New() *Registry {
+	return &Registry{metrics: map[string]any{}}
+}
+
+var defaultRegistry = New()
+
+// Default returns the process-wide registry that the instrumented
+// subsystems (stream, montecarlo, faults) register into at init.
+func Default() *Registry { return defaultRegistry }
+
+func (r *Registry) register(name string, m any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.metrics[name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric %q", name))
+	}
+	r.metrics[name] = m
+	r.order = append(r.order, name)
+}
+
+// roundUpPow2 returns the smallest power of two >= n (minimum 1).
+func roundUpPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// NewCounter registers a sharded counter. shards is rounded up to a power
+// of two; 0 selects DefaultShards.
+func (r *Registry) NewCounter(name, help string, shards int) *Counter {
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	shards = roundUpPow2(shards)
+	c := &Counter{name: name, help: help, shards: make([]padSlot, shards), mask: uint32(shards - 1)}
+	r.register(name, c)
+	return c
+}
+
+// NewHistogram registers a sharded fixed-bin histogram over [lo, hi) with
+// nbins bins. shards is rounded up to a power of two; 0 selects
+// DefaultShards.
+func (r *Registry) NewHistogram(name, help string, lo, hi float64, nbins, shards int) *Histogram {
+	if nbins <= 0 || hi <= lo {
+		panic(fmt.Sprintf("obs: invalid histogram %q: [%g,%g) with %d bins", name, lo, hi, nbins))
+	}
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	shards = roundUpPow2(shards)
+	stride := nbins + 2
+	if rem := stride % (cacheLine / 8); rem != 0 {
+		stride += cacheLine/8 - rem
+	}
+	h := &Histogram{
+		name: name, help: help,
+		lo: lo, hi: hi, width: (hi - lo) / float64(nbins), invWidth: float64(nbins) / (hi - lo),
+		nbins: nbins, stride: stride, mask: uint32(shards - 1),
+		counts: make([]uint64, shards*stride),
+		sums:   make([]padSlot, shards),
+	}
+	r.register(name, h)
+	return h
+}
+
+// RegisterGauge registers a callback gauge evaluated at scrape time. fn
+// must be safe to call from the scrape goroutine concurrently with the
+// instrumented code (derive the value from Counters or immutable state).
+func (r *Registry) RegisterGauge(name, help string, fn func() float64) {
+	r.register(name, gauge{name: name, help: help, fn: fn})
+}
+
+// snapshotOrder returns the registered names sorted, so rendered output is
+// deterministic regardless of registration interleaving.
+func (r *Registry) snapshotOrder() ([]string, map[string]any) {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	metrics := make(map[string]any, len(r.metrics))
+	for k, v := range r.metrics {
+		metrics[k] = v
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	return names, metrics
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (counters, gauges, and cumulative-bucket histograms).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	names, metrics := r.snapshotOrder()
+	for _, name := range names {
+		var err error
+		switch m := metrics[name].(type) {
+		case *Counter:
+			_, err = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+				name, m.help, name, name, m.Value())
+		case gauge:
+			_, err = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
+				name, m.help, name, name, promFloat(m.fn()))
+		case *Histogram:
+			err = writePromHistogram(w, name, m)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, name string, h *Histogram) error {
+	s := h.Snapshot()
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, h.help, name); err != nil {
+		return err
+	}
+	// The underflow slot folds into the first bucket (its upper edge still
+	// bounds those samples); the overflow slot is covered by +Inf.
+	cum := s.Under
+	for i := range s.Buckets {
+		cum += s.Buckets[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(s.UpperEdge(i)), cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+		name, s.Count, name, promFloat(s.Sum), name, s.Count)
+	return err
+}
+
+// promFloat renders a float the way Prometheus expects.
+func promFloat(x float64) string {
+	switch {
+	case math.IsInf(x, 1):
+		return "+Inf"
+	case math.IsInf(x, -1):
+		return "-Inf"
+	case math.IsNaN(x):
+		return "NaN"
+	}
+	return fmt.Sprintf("%g", x)
+}
+
+// WriteVarsJSON renders every metric as one JSON object (the expvar
+// /debug/vars shape): counters and gauges as numbers, histograms as
+// {lo, hi, buckets, under, over, count, sum}.
+func (r *Registry) WriteVarsJSON(w io.Writer) error {
+	names, metrics := r.snapshotOrder()
+	if _, err := io.WriteString(w, "{"); err != nil {
+		return err
+	}
+	for i, name := range names {
+		sep := ",\n"
+		if i == 0 {
+			sep = "\n"
+		}
+		var err error
+		switch m := metrics[name].(type) {
+		case *Counter:
+			_, err = fmt.Fprintf(w, "%s%q: %d", sep, name, m.Value())
+		case gauge:
+			_, err = fmt.Fprintf(w, "%s%q: %s", sep, name, jsonFloat(m.fn()))
+		case *Histogram:
+			s := m.Snapshot()
+			_, err = fmt.Fprintf(w, "%s%q: {\"lo\": %s, \"hi\": %s, \"buckets\": %s, \"under\": %d, \"over\": %d, \"count\": %d, \"sum\": %s}",
+				sep, name, jsonFloat(s.Lo), jsonFloat(s.Hi), jsonUints(s.Buckets),
+				s.Under, s.Over, s.Count, jsonFloat(s.Sum))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n}\n")
+	return err
+}
+
+// jsonFloat renders a float as a JSON value (JSON has no Inf/NaN; clamp to
+// null, which consumers treat as absent).
+func jsonFloat(x float64) string {
+	if math.IsInf(x, 0) || math.IsNaN(x) {
+		return "null"
+	}
+	return fmt.Sprintf("%g", x)
+}
+
+func jsonUints(xs []uint64) string {
+	out := "["
+	for i, x := range xs {
+		if i > 0 {
+			out += ","
+		}
+		out += fmt.Sprintf("%d", x)
+	}
+	return out + "]"
+}

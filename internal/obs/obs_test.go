@@ -1,0 +1,268 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterTotalsAcrossShards(t *testing.T) {
+	r := New()
+	c := r.NewCounter("c", "test", 4)
+	c.Inc(0)
+	c.Inc(1)
+	c.Inc(5) // masks onto shard 1
+	c.Add(-3, 10)
+	if got := c.Value(); got != 13 {
+		t.Fatalf("Value = %d, want 13", got)
+	}
+}
+
+// TestCounterConcurrentSnapshots hammers a counter from many goroutines
+// using distinct shard hints while a reader snapshots continuously; run
+// under -race this is the lock-freedom proof, and the final total must be
+// exact — sharding must lose nothing.
+func TestCounterConcurrentSnapshots(t *testing.T) {
+	r := New()
+	c := r.NewCounter("c", "test", DefaultShards)
+	const writers, perWriter = 8, 10000
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		var last uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v := c.Value()
+			if v < last {
+				t.Errorf("Value went backwards: %d after %d", v, last)
+				return
+			}
+			last = v
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Inc(w)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if got := c.Value(); got != writers*perWriter {
+		t.Fatalf("final Value = %d, want %d", got, writers*perWriter)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.NewHistogram("h", "test", 0, 10, 5, 2)
+	for _, x := range []float64{-1, 0, 1.9, 2, 5, 9.999, 10, 42, math.NaN()} {
+		h.Observe(0, x)
+	}
+	s := h.Snapshot()
+	if s.Under != 1 || s.Over != 2 {
+		t.Fatalf("under/over = %d/%d, want 1/2", s.Under, s.Over)
+	}
+	want := []uint64{2, 1, 1, 0, 1} // [0,2): {0, 1.9}; [2,4): {2}; [4,6): {5}; [8,10): {9.999}
+	for i, b := range s.Buckets {
+		if b != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, b, want[i], s.Buckets)
+		}
+	}
+	if s.Count != 8 {
+		t.Fatalf("count = %d, want 8 (NaN must be ignored)", s.Count)
+	}
+	if wantSum := -1 + 0 + 1.9 + 2 + 5 + 9.999 + 10 + 42; math.Abs(s.Sum-wantSum) > 1e-9 {
+		t.Fatalf("sum = %g, want %g", s.Sum, wantSum)
+	}
+	if got := s.UpperEdge(0); got != 2 {
+		t.Fatalf("UpperEdge(0) = %g, want 2", got)
+	}
+	if got := s.UpperEdge(4); got != 10 {
+		t.Fatalf("UpperEdge(4) = %g, want 10", got)
+	}
+}
+
+// TestHistogramConcurrentSnapshots checks the histogram's lock-free claim
+// the same way: concurrent observers on different shards, a continuous
+// snapshot reader, and an exact final census.
+func TestHistogramConcurrentSnapshots(t *testing.T) {
+	r := New()
+	h := r.NewHistogram("h", "test", 0, 100, 10, DefaultShards)
+	const writers, perWriter = 8, 5000
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = h.Snapshot()
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(w, float64(i%100))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	s := h.Snapshot()
+	if s.Count != writers*perWriter {
+		t.Fatalf("count = %d, want %d", s.Count, writers*perWriter)
+	}
+	if s.Under != 0 || s.Over != 0 {
+		t.Fatalf("under/over = %d/%d, want 0/0", s.Under, s.Over)
+	}
+}
+
+// TestHotPathZeroAlloc pins the property the decode paths rely on: counter
+// increments, histogram observations, and trace emission never allocate.
+func TestHotPathZeroAlloc(t *testing.T) {
+	r := New()
+	c := r.NewCounter("c", "test", 0)
+	h := r.NewHistogram("h", "test", 0, 100, 16, 0)
+	tr := NewTrace(128)
+	ev := Event{TS: 1, Dur: 2, Arg: 3, TID: 4, Kind: EvWindow}
+	if n := testing.AllocsPerRun(1000, func() { c.Inc(3) }); n != 0 {
+		t.Fatalf("Counter.Inc allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(3, 42.5) }); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { tr.Emit(ev) }); n != 0 {
+		t.Fatalf("Trace.Emit allocates %v/op", n)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := New()
+	r.NewCounter("dup", "first", 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.NewCounter("dup", "second", 0)
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := New()
+	c := r.NewCounter("afs_test_total", "a counter", 0)
+	c.Add(0, 7)
+	r.RegisterGauge("afs_test_gauge", "a gauge", func() float64 { return 2.5 })
+	h := r.NewHistogram("afs_test_hist", "a histogram", 0, 4, 2, 0)
+	h.Observe(0, -1) // underfolds into the first bucket
+	h.Observe(0, 1)
+	h.Observe(0, 3)
+	h.Observe(0, 9) // overflow: only in +Inf
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE afs_test_total counter",
+		"afs_test_total 7",
+		"# TYPE afs_test_gauge gauge",
+		"afs_test_gauge 2.5",
+		"# TYPE afs_test_hist histogram",
+		`afs_test_hist_bucket{le="2"} 2`,
+		`afs_test_hist_bucket{le="4"} 3`,
+		`afs_test_hist_bucket{le="+Inf"} 4`,
+		"afs_test_hist_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteVarsJSONParses(t *testing.T) {
+	r := New()
+	r.NewCounter("counter", "c", 0).Add(0, 3)
+	r.RegisterGauge("gauge", "g", func() float64 { return math.Inf(1) }) // must clamp to null
+	h := r.NewHistogram("hist", "h", 0, 10, 4, 0)
+	h.Observe(0, 5)
+	var buf bytes.Buffer
+	if err := r.WriteVarsJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("vars output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if got["counter"] != float64(3) {
+		t.Fatalf("counter = %v, want 3", got["counter"])
+	}
+	if got["gauge"] != nil {
+		t.Fatalf("infinite gauge = %v, want null", got["gauge"])
+	}
+	hist, ok := got["hist"].(map[string]any)
+	if !ok || hist["count"] != float64(1) {
+		t.Fatalf("hist = %v, want count 1", got["hist"])
+	}
+}
+
+func TestRoundUpPow2(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {9, 16},
+	} {
+		if got := roundUpPow2(tc.in); got != tc.want {
+			t.Errorf("roundUpPow2(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestLocalHistMatchesDirect(t *testing.T) {
+	r := New()
+	direct := r.NewHistogram("direct", "test", 0, 10, 5, 0)
+	buffered := r.NewHistogram("buffered", "test", 0, 10, 5, 0)
+	l := buffered.NewLocal()
+	samples := []float64{-3, 0, 1.5, 2, 4.4, 9.99, 10, 57, math.NaN(), 6}
+	for _, x := range samples {
+		direct.Observe(1, x)
+		l.Observe(x)
+	}
+	if got := buffered.Snapshot(); got.Count != 0 {
+		t.Fatalf("unflushed LocalHist leaked %d samples into the shared histogram", got.Count)
+	}
+	l.Flush(1)
+	l.Flush(1) // idempotent when empty
+	want, got := direct.Snapshot(), buffered.Snapshot()
+	if got.Under != want.Under || got.Over != want.Over || got.Count != want.Count || got.Sum != want.Sum {
+		t.Fatalf("flushed snapshot %+v != direct %+v", got, want)
+	}
+	for i := range want.Buckets {
+		if got.Buckets[i] != want.Buckets[i] {
+			t.Fatalf("bucket %d: %d != %d", i, got.Buckets[i], want.Buckets[i])
+		}
+	}
+	if n := testing.AllocsPerRun(1000, func() { l.Observe(4); l.Flush(2) }); n != 0 {
+		t.Fatalf("LocalHist hot path allocates %v/op", n)
+	}
+}

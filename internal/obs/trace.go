@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// EventKind names one class of traced event. Kinds map to Chrome-trace
+// phases at export: EvWindow becomes a complete ("X") slice with its model
+// duration; everything else becomes an instant ("i") marker.
+type EventKind uint8
+
+const (
+	// EvWindow is one sliding-window decode; Dur is its model cost in ns
+	// (zero when deadline accounting is off) and Arg the defect count.
+	EvWindow EventKind = iota + 1
+	// EvTimeout marks a window whose model response time missed the decode
+	// deadline (Eq. 4's timeout failure); Arg is the response time in ns.
+	EvTimeout
+	// EvDegraded marks a deadline overrun committed degraded (one layer).
+	EvDegraded
+	// EvShedRound marks one round erased by backpressure shedding.
+	EvShedRound
+	// EvShedStart / EvShedEnd bracket a backlog shedding episode; Arg is
+	// the queue lag in arrival periods at the transition.
+	EvShedStart
+	EvShedEnd
+	// EvErasedRound marks a round lost on the link past the retry budget.
+	EvErasedRound
+	// EvEarlyStop marks a Monte-Carlo point stopping early; Arg is the
+	// trial count executed.
+	EvEarlyStop
+)
+
+// String returns the event name used in trace exports.
+func (k EventKind) String() string {
+	switch k {
+	case EvWindow:
+		return "window"
+	case EvTimeout:
+		return "timeout"
+	case EvDegraded:
+		return "degraded_commit"
+	case EvShedRound:
+		return "shed_round"
+	case EvShedStart:
+		return "shed_episode_start"
+	case EvShedEnd:
+		return "shed_episode_end"
+	case EvErasedRound:
+		return "erased_round"
+	case EvEarlyStop:
+		return "early_stop"
+	}
+	return "unknown"
+}
+
+// Event is one traced occurrence on a stream's model-time axis. TS and Dur
+// are model nanoseconds — never wall clock — so a fixed-seed run produces
+// the same set of events at the same timestamps for any worker count.
+type Event struct {
+	TS   float64 // model ns since stream start
+	Dur  float64 // model ns, 0 for instant events
+	Arg  float64 // kind-specific payload
+	TID  int32   // stream (logical qubit) id
+	Kind EventKind
+}
+
+// Trace is a bounded, preallocated event buffer. Emit never allocates:
+// past capacity, events are dropped and counted, so tracing a long run
+// costs bounded memory and the hot path stays flat. Emission order across
+// streams depends on scheduling, but export sorts on the deterministic
+// (TS, TID, Kind, Arg) key, so the exported trace of a fixed-seed run is
+// byte-identical for any worker count.
+type Trace struct {
+	mu      sync.Mutex
+	events  []Event
+	dropped uint64
+}
+
+// NewTrace creates a trace buffer holding at most capacity events.
+func NewTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	return &Trace{events: make([]Event, 0, capacity)}
+}
+
+// Emit records one event, dropping it (and counting the drop) when the
+// buffer is full. Safe for concurrent use; never allocates.
+func (t *Trace) Emit(e Event) {
+	t.mu.Lock()
+	if len(t.events) < cap(t.events) {
+		t.events = append(t.events, e)
+	} else {
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Len returns the number of buffered events.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns the number of events dropped at capacity.
+func (t *Trace) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Reset empties the buffer, keeping its capacity.
+func (t *Trace) Reset() {
+	t.mu.Lock()
+	t.events = t.events[:0]
+	t.dropped = 0
+	t.mu.Unlock()
+}
+
+// Snapshot returns a sorted copy of the buffered events (by TS, then TID,
+// Kind, Arg — a total order on distinct events of a deterministic run).
+func (t *Trace) Snapshot() []Event {
+	t.mu.Lock()
+	out := append([]Event(nil), t.events...)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Arg < b.Arg
+	})
+	return out
+}
+
+// WriteChrome exports the trace in Chrome trace-event JSON (the format
+// chrome://tracing, Perfetto, and speedscope open directly). Model
+// nanoseconds map to trace microseconds, so one displayed "µs" is one
+// model ns; every event carries its stream id as tid.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	events := t.Snapshot()
+	if _, err := io.WriteString(w, "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n"); err != nil {
+		return err
+	}
+	for i, e := range events {
+		sep := ",\n"
+		if i == 0 {
+			sep = ""
+		}
+		var err error
+		if e.Kind == EvWindow {
+			_, err = fmt.Fprintf(w,
+				"%s{\"name\": %q, \"cat\": \"afs\", \"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, \"pid\": 0, \"tid\": %d, \"args\": {\"arg\": %g}}",
+				sep, e.Kind.String(), e.TS, e.Dur, e.TID, e.Arg)
+		} else {
+			_, err = fmt.Fprintf(w,
+				"%s{\"name\": %q, \"cat\": \"afs\", \"ph\": \"i\", \"s\": \"t\", \"ts\": %.3f, \"pid\": 0, \"tid\": %d, \"args\": {\"arg\": %g}}",
+				sep, e.Kind.String(), e.TS, e.TID, e.Arg)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "\n], \"otherData\": {\"dropped_events\": %d}}\n", t.Dropped())
+	return err
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestTraceBoundedDrops(t *testing.T) {
+	tr := NewTrace(4)
+	for i := 0; i < 6; i++ {
+		tr.Emit(Event{TS: float64(i), Kind: EvWindow})
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", tr.Dropped())
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatalf("after Reset: len %d dropped %d, want 0/0", tr.Len(), tr.Dropped())
+	}
+	tr.Emit(Event{Kind: EvTimeout})
+	if tr.Len() != 1 {
+		t.Fatalf("Reset lost capacity: Len = %d, want 1", tr.Len())
+	}
+}
+
+// TestTraceSnapshotOrder checks that export order is the deterministic
+// (TS, TID, Kind, Arg) key, independent of emission order — the property
+// that makes a fixed-seed trace byte-identical across worker counts.
+func TestTraceSnapshotOrder(t *testing.T) {
+	emit := []Event{
+		{TS: 400, TID: 1, Kind: EvWindow},
+		{TS: 400, TID: 0, Kind: EvTimeout},
+		{TS: 400, TID: 0, Kind: EvWindow, Arg: 2},
+		{TS: 400, TID: 0, Kind: EvWindow, Arg: 1},
+		{TS: 100, TID: 7, Kind: EvShedStart},
+	}
+	want := []Event{
+		{TS: 100, TID: 7, Kind: EvShedStart},
+		{TS: 400, TID: 0, Kind: EvWindow, Arg: 1},
+		{TS: 400, TID: 0, Kind: EvWindow, Arg: 2},
+		{TS: 400, TID: 0, Kind: EvTimeout},
+		{TS: 400, TID: 1, Kind: EvWindow},
+	}
+	// Two emission orders, one exported order.
+	for _, order := range [][]int{{0, 1, 2, 3, 4}, {4, 3, 2, 1, 0}} {
+		tr := NewTrace(16)
+		for _, i := range order {
+			tr.Emit(emit[i])
+		}
+		got := tr.Snapshot()
+		if len(got) != len(want) {
+			t.Fatalf("snapshot has %d events, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("event %d = %+v, want %+v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTraceWriteChrome(t *testing.T) {
+	tr := NewTrace(2)
+	tr.Emit(Event{TS: 800, Dur: 123.5, Arg: 3, TID: 1, Kind: EvWindow})
+	tr.Emit(Event{TS: 1200, Arg: 350, TID: 1, Kind: EvTimeout})
+	tr.Emit(Event{TS: 1600, Kind: EvShedRound}) // dropped at capacity
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+		OtherData struct {
+			Dropped uint64 `json:"dropped_events"`
+		} `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("exported %d events, want 2", len(doc.TraceEvents))
+	}
+	if e := doc.TraceEvents[0]; e.Name != "window" || e.Ph != "X" || e.TS != 800 || e.Dur != 123.5 || e.TID != 1 {
+		t.Fatalf("window event exported wrong: %+v", e)
+	}
+	if e := doc.TraceEvents[1]; e.Name != "timeout" || e.Ph != "i" {
+		t.Fatalf("timeout event exported wrong: %+v", e)
+	}
+	if doc.OtherData.Dropped != 1 {
+		t.Fatalf("dropped_events = %d, want 1", doc.OtherData.Dropped)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []EventKind{EvWindow, EvTimeout, EvDegraded, EvShedRound,
+		EvShedStart, EvShedEnd, EvErasedRound, EvEarlyStop}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "unknown" || seen[s] {
+			t.Fatalf("kind %d has bad or duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+	if EventKind(0).String() != "unknown" || EventKind(99).String() != "unknown" {
+		t.Fatal("out-of-range kinds must stringify as unknown")
+	}
+}

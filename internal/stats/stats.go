@@ -45,25 +45,43 @@ func Variance(xs []float64) float64 {
 func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
 
 // Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
-// interpolation between closest ranks. The input is not modified.
+// interpolation between closest ranks. NaN samples are ignored; if no real
+// samples remain the result is NaN. The input is not modified.
 func Percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
+	sorted := sortedClean(xs)
+	if len(sorted) == 0 {
 		return math.NaN()
 	}
-	sorted := make([]float64, len(xs))
-	copy(sorted, xs)
-	sort.Float64s(sorted)
 	return percentileSorted(sorted, p)
 }
 
 // PercentileSorted returns the p-th percentile of an already-sorted slice.
 // It avoids the copy performed by Percentile and is intended for computing
-// several percentiles of the same large sample.
+// several percentiles of the same large sample. sort.Float64s orders NaN
+// samples before every real number; that prefix is skipped, so a sample
+// containing NaNs yields real low percentiles instead of NaN.
 func PercentileSorted(sorted []float64, p float64) float64 {
+	for len(sorted) > 0 && math.IsNaN(sorted[0]) {
+		sorted = sorted[1:]
+	}
 	if len(sorted) == 0 {
 		return math.NaN()
 	}
 	return percentileSorted(sorted, p)
+}
+
+// sortedClean returns a sorted copy of xs with NaN samples dropped.
+// sort.Float64s places NaNs before all real numbers, so the NaN prefix is
+// trimmed with one scan.
+func sortedClean(xs []float64) []float64 {
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	i := 0
+	for i < len(sorted) && math.IsNaN(sorted[i]) {
+		i++
+	}
+	return sorted[i:]
 }
 
 func percentileSorted(sorted []float64, p float64) float64 {
@@ -96,18 +114,20 @@ type Summary struct {
 	Max    float64
 }
 
-// Summarize computes a Summary of xs. The input is not modified.
+// Summarize computes a Summary of xs. NaN samples are dropped first — one
+// propagating NaN would otherwise poison every field — and Count reports
+// the samples actually summarized. A single sample yields StdDev 0 (the
+// unbiased estimator is undefined at n=1; 0 is the conventional report).
+// The input is not modified.
 func Summarize(xs []float64) Summary {
-	if len(xs) == 0 {
+	sorted := sortedClean(xs)
+	if len(sorted) == 0 {
 		return Summary{}
 	}
-	sorted := make([]float64, len(xs))
-	copy(sorted, xs)
-	sort.Float64s(sorted)
 	return Summary{
-		Count:  len(xs),
-		Mean:   Mean(xs),
-		StdDev: StdDev(xs),
+		Count:  len(sorted),
+		Mean:   Mean(sorted),
+		StdDev: StdDev(sorted),
 		Min:    sorted[0],
 		Median: percentileSorted(sorted, 50),
 		P99:    percentileSorted(sorted, 99),
@@ -134,8 +154,13 @@ func NewHistogram(lo, hi float64, n int) *Histogram {
 	return &Histogram{Lo: lo, Hi: hi, Bins: make([]uint64, n)}
 }
 
-// Add records one sample.
+// Add records one sample. NaN is ignored: it fails both range comparisons,
+// and the bin-index conversion int(NaN) is platform-defined — historically
+// an out-of-range index panic waiting on the first NaN latency.
 func (h *Histogram) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
 	h.Total++
 	switch {
 	case x < h.Lo:

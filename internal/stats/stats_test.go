@@ -259,3 +259,102 @@ func sortFloats(xs []float64) {
 		xs[j+1] = v
 	}
 }
+
+// TestSingleSampleSummary pins the n=1 edge: the unbiased variance is
+// undefined at one sample, so StdDev reports the conventional 0 and every
+// order statistic collapses to the sample itself.
+func TestSingleSampleSummary(t *testing.T) {
+	if got := StdDev([]float64{42}); got != 0 {
+		t.Fatalf("StdDev(n=1) = %g, want 0", got)
+	}
+	s := Summarize([]float64{42})
+	if s.Count != 1 || s.Mean != 42 || s.StdDev != 0 ||
+		s.Min != 42 || s.Median != 42 || s.P99 != 42 || s.P999 != 42 || s.Max != 42 {
+		t.Fatalf("Summarize(n=1) = %+v", s)
+	}
+}
+
+// TestPercentileIgnoresNaN is the regression test for the NaN-poisoning
+// bug: sort.Float64s orders NaN before every real number, so a single NaN
+// sample used to surface as the minimum and poison every low percentile.
+func TestPercentileIgnoresNaN(t *testing.T) {
+	nan := math.NaN()
+	for _, tc := range []struct {
+		name string
+		xs   []float64
+		p    float64
+		want float64
+	}{
+		{"nan-min", []float64{nan, 1, 2, 3}, 0, 1},
+		{"nan-median", []float64{nan, nan, 1, 2, 3}, 50, 2},
+		{"nan-max", []float64{3, nan, 1, 2}, 100, 3},
+		{"clean", []float64{1, 2, 3}, 50, 2},
+	} {
+		if got := Percentile(tc.xs, tc.p); got != tc.want {
+			t.Errorf("%s: Percentile(%v, %v) = %v, want %v", tc.name, tc.xs, tc.p, got, tc.want)
+		}
+	}
+	if got := Percentile([]float64{nan, nan}, 50); !math.IsNaN(got) {
+		t.Errorf("all-NaN sample: got %v, want NaN", got)
+	}
+	sorted := []float64{nan, nan, 1, 2, 3} // already in sort.Float64s order
+	if got := PercentileSorted(sorted, 0); got != 1 {
+		t.Errorf("PercentileSorted skipping NaN prefix: got %v, want 1", got)
+	}
+	if got := PercentileSorted([]float64{nan}, 50); !math.IsNaN(got) {
+		t.Errorf("PercentileSorted all-NaN: got %v, want NaN", got)
+	}
+}
+
+// TestSummarizeDropsNaN: one unmeasurable sample must not poison the run's
+// summary; Count reports what was actually summarized.
+func TestSummarizeDropsNaN(t *testing.T) {
+	s := Summarize([]float64{math.NaN(), 1, 3})
+	if s.Count != 2 {
+		t.Fatalf("Count = %d, want 2", s.Count)
+	}
+	if s.Mean != 2 || s.Min != 1 || s.Max != 3 || s.Median != 2 {
+		t.Fatalf("Summarize with NaN = %+v", s)
+	}
+	if math.IsNaN(s.StdDev) {
+		t.Fatal("StdDev poisoned by NaN")
+	}
+	if got := Summarize([]float64{math.NaN()}); got != (Summary{}) {
+		t.Fatalf("all-NaN Summarize = %+v, want zero Summary", got)
+	}
+}
+
+// TestHistogramAddIgnoresNaN: NaN fails both range comparisons and int(NaN)
+// is platform-defined — before the guard this was an index panic.
+func TestHistogramAddIgnoresNaN(t *testing.T) {
+	h := NewHistogram(0, 10, 4)
+	h.Add(math.NaN())
+	h.Add(5)
+	if h.Total != 1 {
+		t.Fatalf("Total = %d, want 1 (NaN ignored)", h.Total)
+	}
+}
+
+// TestHistogramCCDFIncludesUnder pins the CCDF convention: CCDF[i] is
+// P(X >= left edge of bin i) over all samples, so Under samples dilute the
+// probabilities (they sit below every edge) and CCDF[0] < 1 when Under > 0,
+// while Over samples keep every entry positive.
+func TestHistogramCCDFIncludesUnder(t *testing.T) {
+	h := NewHistogram(0, 4, 4) // unit bins
+	for _, x := range []float64{-1, -2, 0.5, 1.5, 2.5, 3.5, 9} {
+		h.Add(x)
+	}
+	ccdf := h.CCDF()
+	want := []float64{5.0 / 7, 4.0 / 7, 3.0 / 7, 2.0 / 7}
+	for i := range want {
+		if math.Abs(ccdf[i]-want[i]) > 1e-12 {
+			t.Fatalf("CCDF[%d] = %v, want %v (all: %v)", i, ccdf[i], want[i], ccdf)
+		}
+	}
+	empty := NewHistogram(0, 1, 2).CCDF()
+	for i, v := range empty {
+		if v != 0 {
+			t.Fatalf("empty histogram CCDF[%d] = %v, want 0", i, v)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"afs/internal/faults"
+	"afs/internal/obs"
 )
 
 // Engine drives L independent logical-qubit streams over a persistent
@@ -64,6 +65,11 @@ type EngineConfig struct {
 	// from Chaos.Seed plus a per-stream offset, so fleet runs are
 	// reproducible and streams fault independently.
 	Chaos *faults.Config
+	// Trace, when non-nil, receives every stream's model-time decode events
+	// (windows, timeouts, shed/recover episodes), each labeled with its
+	// stream index as tid — so a fixed-seed fleet exports the identical
+	// trace for any worker count.
+	Trace *obs.Trace
 }
 
 // engineJob is one round batch (or a flush) broadcast to every worker.
@@ -103,6 +109,9 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		}
 		if err := dec.SetRobust(cfg.Robust); err != nil {
 			return nil, err
+		}
+		if cfg.Trace != nil {
+			dec.SetTrace(cfg.Trace, int32(i))
 		}
 		i := i
 		if cfg.Sink != nil {
@@ -205,6 +214,18 @@ func (e *Engine) Workers() int { return e.workers }
 // Decoder exposes stream i's decoder for inspection; it must not be used
 // concurrently with engine batches.
 func (e *Engine) Decoder(i int) *Decoder { return e.decs[i] }
+
+// StreamReport returns stream i's merged ledger — its decoder's runtime
+// counters (windows, timeouts, degraded commits, shedding) plus its link
+// channel's (injected and detected faults, retries, erasures). Like
+// Decoder, it must not be called concurrently with engine batches.
+func (e *Engine) StreamReport(i int) faults.Report {
+	rep := e.decs[i].Report()
+	if e.chans != nil {
+		rep.Merge(e.chans[i].Report())
+	}
+	return rep
+}
 
 // FaultReport merges every stream's runtime ledger (windows, timeouts,
 // degraded commits, shedding) with its link channel's ledger (injected and

@@ -41,6 +41,7 @@ import (
 	"afs/internal/faults"
 	"afs/internal/lattice"
 	"afs/internal/microarch"
+	"afs/internal/obs"
 )
 
 // Correction is one committed decoding decision in global stream
@@ -98,11 +99,75 @@ type Decoder struct {
 	// Deadline-aware degradation (SetRobust). All accounting runs in model
 	// nanoseconds — never wall clock — so fixed-seed runs stay bit-identical
 	// across worker counts.
-	robust    Robust
-	robustOn  bool
-	queue     backlog.BoundedQueue
-	penaltyNS float64 // injected service time charged to the next window
-	rep       faults.Report
+	robust       Robust
+	robustOn     bool
+	queue        backlog.BoundedQueue
+	penaltyNS    float64 // injected service time charged to the next window
+	invArrivalNS float64 // 1/arrival period — queue-lag metric without a division
+	rep          faults.Report
+
+	// Observability (internal/obs). om is the fleet-wide metrics sink
+	// captured at construction (nil when disabled), omShard the padded-slot
+	// hint. The steady-state signals — rounds, windows, corrections,
+	// horizon skips, and the three histograms — accumulate in plain local
+	// tallies (omRounds..lhLag) and publish into the shared sink every
+	// obsFlushWindows window decodes (flushObs), so the per-round and
+	// per-window paths carry a couple of plain adds instead of atomics;
+	// rare events (timeouts, sheds, erasures) publish immediately. trace,
+	// when installed, receives model-time events labeled tid. All of it is
+	// write-only from the decode path: results are bit-identical with
+	// observability on or off.
+	om             *streamObs
+	omShard        int
+	omRounds       uint64
+	omWindows      uint64
+	omCorrections  uint64
+	omHorizonSkips uint64
+	omPending      int
+	lhDefects      *obs.LocalHist
+	lhCost         *obs.LocalHist
+	lhLag          *obs.LocalHist
+	trace          *obs.Trace
+	tid            int32
+}
+
+// obsFlushWindows is how many window decodes the steady-state metric
+// tallies may buffer before flushObs publishes them — a freshness bound of
+// ~128 windows per stream on scraped totals (well under a millisecond of
+// model time), in exchange for keeping atomics off the per-window path
+// and amortizing the flush's bin scan to fractions of a nanosecond per
+// round.
+const obsFlushWindows = 128
+
+// flushObs publishes the locally batched steady-state tallies into the
+// shared metrics sink. Called every obsFlushWindows window decodes, on
+// final windows, and by Report so ledger/counter cross-checks see
+// everything the decoder has done.
+func (d *Decoder) flushObs() {
+	o := d.om
+	if o == nil {
+		return
+	}
+	if d.omRounds != 0 {
+		o.rounds.Add(d.omShard, d.omRounds)
+		d.omRounds = 0
+	}
+	if d.omWindows != 0 {
+		o.windows.Add(d.omShard, d.omWindows)
+		d.omWindows = 0
+	}
+	if d.omCorrections != 0 {
+		o.corrections.Add(d.omShard, d.omCorrections)
+		d.omCorrections = 0
+	}
+	if d.omHorizonSkips != 0 {
+		o.horizonSkips.Add(d.omShard, d.omHorizonSkips)
+		d.omHorizonSkips = 0
+	}
+	d.lhDefects.Flush(d.omShard)
+	d.lhCost.Flush(d.omShard)
+	d.lhLag.Flush(d.omShard)
+	d.omPending = 0
 }
 
 // Robust configures deadline enforcement and bounded-queue backpressure for
@@ -166,7 +231,7 @@ func New(distance, window, commit int) (*Decoder, error) {
 	g := lattice.Cached3DWindow(distance, window)
 	per := distance * (distance - 1)
 	perWords := (per + 63) / 64
-	return &Decoder{
+	d := &Decoder{
 		Distance: distance,
 		Window:   window,
 		Commit:   commit,
@@ -178,7 +243,25 @@ func New(distance, window, commit int) (*Decoder, error) {
 		perWords: perWords,
 		ring:     make([]uint64, window*perWords),
 		erased:   make([]bool, window),
-	}, nil
+		om:       obsSink.Load(),
+		omShard:  nextObsShard(),
+	}
+	if d.om != nil {
+		d.lhDefects = d.om.windowDefects.NewLocal()
+		d.lhCost = d.om.windowCostNS.NewLocal()
+		d.lhLag = d.om.queueLag.NewLocal()
+	}
+	return d, nil
+}
+
+// SetTrace installs (or, with nil, removes) a model-time event trace for
+// this decoder; tid labels its events (a stream or trial id). Tracing
+// never perturbs decode results — events are derived from state the
+// decoder computes anyway — and emitting into the preallocated trace
+// buffer does not allocate.
+func (d *Decoder) SetTrace(t *obs.Trace, tid int32) {
+	d.trace = t
+	d.tid = tid
 }
 
 // SetRobust enables (or, with a zero config, disables) deadline enforcement
@@ -198,6 +281,7 @@ func (d *Decoder) SetRobust(cfg Robust) error {
 	d.robust = cfg
 	d.robustOn = cfg.enabled()
 	d.queue = backlog.BoundedQueue{ArrivalNS: cfg.arrivalNS(), Cap: cfg.QueueCap}
+	d.invArrivalNS = 1 / cfg.arrivalNS()
 	d.penaltyNS = 0
 	if d.robustOn != wasOn {
 		// The deadline model needs per-cluster profiles but none of the
@@ -226,6 +310,9 @@ func (d *Decoder) AddPenaltyNS(ns float64) {
 // counters live in the faults.Channel that feeds the decoder; merge the two
 // for the full picture.
 func (d *Decoder) Report() faults.Report {
+	// Publish any batched tallies first, so a metrics snapshot taken next
+	// to the returned ledger covers the same events.
+	d.flushObs()
 	rep := d.rep
 	rep.BacklogSheds = d.queue.Sheds
 	rep.BacklogRecovers = d.queue.Recoveries
@@ -283,8 +370,40 @@ func (d *Decoder) PushErased() {
 // ingest buffers one layer (validated events, or an erased blank) and
 // decodes when the window fills.
 func (d *Decoder) ingest(events []int32, erased bool) {
-	if d.robustOn && d.queue.Arrive() {
-		d.shedOldest()
+	if d.robustOn {
+		sheds, recovers := d.queue.Sheds, d.queue.Recoveries
+		if d.queue.Arrive() {
+			d.shedOldest()
+		}
+		// Shedding-episode transitions happen only inside Arrive; publishing
+		// them here keeps the live ledger exact without backlog depending on
+		// the metrics layer.
+		if d.queue.Sheds != sheds {
+			if d.om != nil {
+				d.om.backlogSheds.Inc(d.omShard)
+			}
+			if d.trace != nil {
+				d.trace.Emit(obs.Event{TS: d.queue.Now(), Arg: d.queue.Lag(), TID: d.tid, Kind: obs.EvShedStart})
+			}
+		}
+		if d.queue.Recoveries != recovers {
+			if d.om != nil {
+				d.om.backlogRecovers.Inc(d.omShard)
+			}
+			if d.trace != nil {
+				d.trace.Emit(obs.Event{TS: d.queue.Now(), Arg: d.queue.Lag(), TID: d.tid, Kind: obs.EvShedEnd})
+			}
+		}
+	}
+	d.omRounds++
+	if erased {
+		if d.om != nil {
+			d.om.erasedRounds.Inc(d.omShard)
+		}
+		if d.trace != nil {
+			ts := float64(d.base+d.ringLen) * d.robust.arrivalNS()
+			d.trace.Emit(obs.Event{TS: ts, TID: d.tid, Kind: obs.EvErasedRound})
+		}
 	}
 	si := d.ringStart + d.ringLen
 	if si >= d.Window {
@@ -320,6 +439,12 @@ func (d *Decoder) shedOldest() {
 		}
 		d.erased[si] = true
 		d.rep.ShedRounds++
+		if d.om != nil {
+			d.om.shedRounds.Inc(d.omShard)
+		}
+		if d.trace != nil {
+			d.trace.Emit(obs.Event{TS: d.queue.Now(), Arg: float64(d.base + t), TID: d.tid, Kind: obs.EvShedRound})
+		}
 		return
 	}
 }
@@ -337,7 +462,19 @@ func (d *Decoder) Flush() []Correction {
 	d.base = 0
 	d.ringStart = 0
 	// A new stream starts with fresh clocks; the fault ledger is cumulative.
+	// Reset closes a still-open shedding episode (counting the recovery), so
+	// mirror that close into the live metrics and the trace.
+	endTS := d.queue.Now()
+	recovers := d.queue.Recoveries
 	d.queue.Reset()
+	if d.queue.Recoveries != recovers {
+		if d.om != nil {
+			d.om.backlogRecovers.Inc(d.omShard)
+		}
+		if d.trace != nil {
+			d.trace.Emit(obs.Event{TS: endTS, TID: d.tid, Kind: obs.EvShedEnd})
+		}
+	}
 	d.penaltyNS = 0
 	return out
 }
@@ -404,17 +541,36 @@ func (d *Decoder) decodeWindow(final bool) {
 	// horizon is where a sliding window saves most of its decode work.
 	corr := dec.DecodeHorizon(d.defects, int32(commit))
 
+	// winTS is the window's model-time anchor (its first buffered layer's
+	// arrival slot) for the trace; cost stays 0 outside deadline mode.
+	winTS := float64(d.base) * d.robust.arrivalNS()
+	var cost float64
 	if !final && d.robustOn {
 		// Charge the window against the deadline budget in model time: its
 		// decode cost under the memory-access model, plus any injected link
 		// penalties (retries, stalls), plus queueing behind earlier windows.
-		cost := d.robust.Model.WindowCost(&dec.Stats) + d.penaltyNS
+		cost = d.robust.Model.WindowCost(&dec.Stats) + d.penaltyNS
 		d.penaltyNS = 0
 		d.rep.Windows++
+		if d.om != nil {
+			d.lhCost.Observe(cost)
+		}
 		response := d.queue.Serve(cost)
+		if d.om != nil {
+			// response is exactly the post-serve backlog in ns (queueing
+			// plus own service), so the lag in arrival periods is one
+			// multiply — no second queue call, no division.
+			d.lhLag.Observe(response * d.invArrivalNS)
+		}
 		if d.robust.DeadlineNS > 0 && response > d.robust.DeadlineNS {
 			// Deadline overrun: a timeout failure under Eq. 4 (p_tof).
 			d.rep.Timeouts++
+			if d.om != nil {
+				d.om.timeouts.Inc(d.omShard)
+			}
+			if d.trace != nil {
+				d.trace.Emit(obs.Event{TS: winTS, Arg: response, TID: d.tid, Kind: obs.EvTimeout})
+			}
 			if cost > d.robust.DeadlineNS {
 				// Degrade only when this window's own decode is over budget:
 				// finalize the oldest layer and defer the rest to the next
@@ -429,6 +585,12 @@ func (d *Decoder) decodeWindow(final bool) {
 				// bounded queue's shedding is the pressure valve there.
 				d.rep.DegradedCommits++
 				commit = 1
+				if d.om != nil {
+					d.om.degraded.Inc(d.omShard)
+				}
+				if d.trace != nil {
+					d.trace.Emit(obs.Event{TS: winTS, Arg: cost, TID: d.tid, Kind: obs.EvDegraded})
+				}
 			}
 		}
 	}
@@ -440,12 +602,14 @@ func (d *Decoder) decodeWindow(final bool) {
 	if !final {
 		carry = d.slotWords(commit)
 	}
+	committed := 0
 	for _, ei := range corr {
 		e := &g.Edges[ei]
 		round := int(e.Round)
 		if round >= commit {
 			continue
 		}
+		committed++
 		switch e.Kind {
 		case lattice.Spatial:
 			d.emit(Correction{
@@ -465,6 +629,26 @@ func (d *Decoder) decodeWindow(final bool) {
 				carry[x>>6] ^= 1 << (uint(x) & 63)
 			}
 		}
+	}
+
+	// Tally the window locally: the decode itself and its commit outcome
+	// (a window with defects but nothing committable below the horizon is
+	// the horizon shortcut's win), publishing to the shared sink every
+	// obsFlushWindows decodes and on final windows.
+	if d.om != nil {
+		d.omWindows++
+		d.lhDefects.Observe(float64(len(d.defects)))
+		d.omCorrections += uint64(committed)
+		if committed == 0 && len(d.defects) > 0 {
+			d.omHorizonSkips++
+		}
+		d.omPending++
+		if d.omPending >= obsFlushWindows || final {
+			d.flushObs()
+		}
+	}
+	if d.trace != nil {
+		d.trace.Emit(obs.Event{TS: winTS, Dur: cost, Arg: float64(len(d.defects)), TID: d.tid, Kind: obs.EvWindow})
 	}
 
 	// Slide: clear the consumed slots for reuse and advance the ring.

@@ -1,0 +1,30 @@
+package afs
+
+import "afs/internal/obs"
+
+// Trace is a bounded, deterministic model-time event trace of the decode
+// fleet: windows, timeout failures, degraded commits, shed/recover
+// episodes. Install one via StreamEngineConfig.Trace or
+// StreamRobustnessConfig.Trace and export it with WriteChrome — the output
+// opens directly in Perfetto or chrome://tracing, and for a fixed seed it
+// is byte-identical for any worker count. See internal/obs.
+type Trace = obs.Trace
+
+// NewTrace creates a trace buffer holding at most capacity events
+// (capacity <= 0 selects a default). Emission past capacity drops events
+// and counts the drops instead of allocating.
+func NewTrace(capacity int) *Trace { return obs.NewTrace(capacity) }
+
+// MetricsRegistry returns the process-wide metrics registry that the
+// decode subsystems (stream decoders, the Monte-Carlo engine, the chaos
+// layer) publish into. Serve it over HTTP with ServeMetrics, or render it
+// directly with WritePrometheus / WriteVarsJSON.
+func MetricsRegistry() *obs.Registry { return obs.Default() }
+
+// ServeMetrics starts an HTTP endpoint on addr (host:port; an empty port
+// picks a free one) exposing /metrics (Prometheus text), /debug/vars
+// (JSON), and /debug/pprof. It returns once the listener is bound; close
+// the returned server when done.
+func ServeMetrics(addr string) (*obs.Server, error) {
+	return obs.Serve(addr, obs.Default())
+}

@@ -8,6 +8,7 @@ import (
 	"afs/internal/faults"
 	"afs/internal/lattice"
 	"afs/internal/noise"
+	"afs/internal/obs"
 	"afs/internal/stream"
 )
 
@@ -50,6 +51,11 @@ type StreamRobustnessConfig struct {
 	DeadlineNS float64
 	// QueueCap bounds the decode backlog in rounds (0 disables).
 	QueueCap int
+	// Trace, when non-nil, records every trial's model-time decode events
+	// (windows, timeouts, shed/recover episodes) with the trial index as
+	// tid — so a fixed-seed run exports the identical trace for any worker
+	// count.
+	Trace *obs.Trace
 }
 
 // StreamRobustnessResult reports accuracy and fault accounting of a
@@ -151,6 +157,9 @@ func MeasureStreamRobustness(cfg StreamRobustnessConfig) (StreamRobustnessResult
 				// Per-trial seeding keeps every trial's noise and faults
 				// independent of which worker runs it.
 				s := noise.NewSampler(g, cfg.P, cfg.Seed, uint64(i)+1)
+				if cfg.Trace != nil {
+					dec.SetTrace(cfg.Trace, int32(i))
+				}
 				if ch != nil {
 					ch.Reset(cfg.Chaos.Seed + uint64(i)*0x9e3779b9)
 				}

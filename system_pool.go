@@ -227,6 +227,10 @@ type StreamEngineConfig struct {
 	// QueueCap bounds each stream's decode backlog in rounds (0 disables):
 	// past it the oldest undecoded round is shed and recorded.
 	QueueCap int
+	// Trace, when non-nil, records every stream's model-time decode events
+	// (stream index as tid); export with Trace.WriteChrome. Deterministic:
+	// a fixed-seed fleet emits the identical trace for any worker count.
+	Trace *Trace
 }
 
 // NewStreamEngine builds the fleet and starts its worker pool. Callers
@@ -247,6 +251,7 @@ func NewStreamEngine(cfg StreamEngineConfig) (*StreamEngine, error) {
 			DeadlineNS: cfg.DeadlineNS,
 			QueueCap:   cfg.QueueCap,
 		},
+		Trace: cfg.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -282,6 +287,10 @@ func (e *StreamEngine) Flush() error { return e.eng.Flush() }
 // links, detections, recoveries, erasures, timeout failures, degraded
 // commits, and backpressure shedding across all streams.
 func (e *StreamEngine) FaultReport() FaultReport { return e.eng.FaultReport() }
+
+// StreamReport returns stream i's ledger alone — the per-stream rollup
+// behind FaultReport's fleet merge. Not safe concurrently with RunRounds.
+func (e *StreamEngine) StreamReport(i int) FaultReport { return e.eng.StreamReport(i) }
 
 // Rounds returns the rounds fed to each stream so far.
 func (e *StreamEngine) Rounds() uint64 { return e.rounds }
