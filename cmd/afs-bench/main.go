@@ -5,6 +5,11 @@
 //   - micro benchmarks: ns per steady-state Sample+Decode at the paper's
 //     design point (d=11, p=1e-3) and near threshold, plus a heap audit
 //     (allocations per operation, which must be zero in steady state);
+//   - a batch-kernel benchmark: the fused sample+triage+decode pipeline
+//     (BatchSampler batches, weight-class triage, full decode only for the
+//     heavy tail) timed single-threaded at the design point, reporting ns
+//     per trial, the per-class triage hit rates, and the speedup over both
+//     the untriaged kernel and BENCH_4's scalar micro number;
 //   - a macro benchmark: one multi-point accuracy sweep executed twice —
 //     through the retained legacy executor (per-point graph builds, static
 //     per-worker striping, a join barrier per point) and through the
@@ -28,12 +33,15 @@
 //
 // Usage:
 //
-//	afs-bench [-out BENCH_4.json] [-trials N] [-workers W] [-quick]
+//	afs-bench [-out BENCH_5.json] [-trials N] [-workers W] [-quick]
 //	          [-ref-tps T] [-ref-label L] [-metrics addr] [-trace file]
+//	          [-cpuprofile file] [-memprofile file]
 //
 // -ref-tps records an externally measured reference throughput (for
 // example, the repository's seed commit rebuilt and timed on the same
 // machine) so the report can state a before/after speedup with provenance.
+// -cpuprofile and -memprofile write pprof profiles covering the whole run,
+// so perf work stays profile-guided (see EXPERIMENTS.md for the workflow).
 package main
 
 import (
@@ -43,6 +51,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 	"time"
 
@@ -70,6 +79,35 @@ type report struct {
 		Threshold    benchPoint `json:"near_threshold"` // d=7, p=2e-2
 		SampleOnlyNS float64    `json:"sample_only_ns_per_op"`
 	} `json:"micro"`
+
+	// Batch is the fused sample+triage+decode kernel at the design point,
+	// single-threaded (workers=1) so ns_per_trial is comparable to the
+	// scalar micro numbers across BENCH versions.
+	Batch struct {
+		Distance    int     `json:"d"`
+		P           float64 `json:"p"`
+		Trials      uint64  `json:"trials"`
+		Workers     int     `json:"workers"`
+		BatchWidth  int     `json:"batch_trials"`
+		NSPerTrial  float64 `json:"ns_per_trial"`
+		TrialsPerS  float64 `json:"trials_per_sec"`
+		UntriagedNS float64 `json:"untriaged_ns_per_trial"`
+		// TriageSpeedup isolates the triage layer: fused kernel with
+		// weight-class fast paths vs the same kernel decoding every trial
+		// in full.
+		TriageSpeedup float64 `json:"triage_speedup"`
+		// Per-class fractions of all trials (they sum to 1 with FullFrac).
+		W0Frac    float64 `json:"triage_w0_frac"`
+		W1Frac    float64 `json:"triage_w1_frac"`
+		W2Frac    float64 `json:"triage_w2_frac"`
+		MultiFrac float64 `json:"triage_multi_frac"`
+		FullFrac  float64 `json:"full_decode_frac"`
+		// Bench4MicroNS is BENCH_4.json's micro design-point ns/op (the
+		// scalar Sample+Decode pipeline this PR set out to beat), and
+		// SpeedupVsBench4 the single-thread trials/sec ratio against it.
+		Bench4MicroNS   float64 `json:"bench4_micro_ns_per_op"`
+		SpeedupVsBench4 float64 `json:"speedup_vs_bench4_micro"`
+	} `json:"batch"`
 
 	Macro struct {
 		Distances       []int     `json:"distances"`
@@ -180,7 +218,7 @@ type reference struct {
 
 func main() {
 	var (
-		out      = flag.String("out", "BENCH_4.json", "output report path (\"-\" for stdout only)")
+		out      = flag.String("out", "BENCH_5.json", "output report path (\"-\" for stdout only)")
 		trialsN  = flag.Uint64("trials", 20000, "Monte-Carlo trials per sweep point")
 		workers  = flag.Int("workers", 0, "worker goroutines (0 = all CPUs)")
 		quick    = flag.Bool("quick", false, "shrink budgets ~10x for a smoke run")
@@ -189,8 +227,26 @@ func main() {
 
 		metricsAddr = flag.String("metrics", "", "serve live metrics + pprof on this host:port while benchmarking")
 		traceFile   = flag.String("trace", "", "write a Chrome/Perfetto trace of the robust stream benchmark to this file")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile (taken after the benchmarks) to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		// The profile covers the entire run; a fatal exit (os.Exit) skips
+		// these defers, so a failed run leaves no half-written profile
+		// masquerading as a complete one.
+		defer pprof.StopCPUProfile()
+		defer f.Close()
+	}
 
 	if *metricsAddr != "" {
 		srv, err := obs.Serve(*metricsAddr, obs.Default())
@@ -211,7 +267,7 @@ func main() {
 	}
 
 	var r report
-	r.BenchVersion = 4
+	r.BenchVersion = 5
 	r.GeneratedBy = "cmd/afs-bench"
 	r.GoVersion = runtime.Version()
 	r.GOMAXPROCS = runtime.GOMAXPROCS(0)
@@ -234,6 +290,8 @@ func main() {
 	fmt.Printf("d=7  p=2e-2: %.0f ns/op, %.2f allocs/op\n",
 		r.Micro.Threshold.NSPerOp, r.Micro.Threshold.AllocsPerOp)
 
+	benchBatch(&r, *quick)
+
 	distances := []int{3, 5, 7, 9, 11}
 	ps := []float64{1e-3, 3e-3, 1e-2}
 	base := montecarlo.AccuracyConfig{
@@ -241,7 +299,9 @@ func main() {
 		Seed:    42,
 		Workers: *workers,
 		New: func(g *lattice.Graph) montecarlo.Decoder {
-			return core.NewDecoder(g, core.Options{LeanStats: true})
+			// SparseShortcut matches the streaming decoders' configuration
+			// and speeds the heavy-tail trials the triage layer punts.
+			return core.NewDecoder(g, core.Options{LeanStats: true, SparseShortcut: true})
 		},
 	}
 	totalTrials := trials * uint64(len(distances)*len(ps))
@@ -312,6 +372,22 @@ func main() {
 		}
 		fmt.Printf("\nvs reference %q (%.0f trials/sec): %.2fx\n",
 			*refLabel, *refTPS, r.Reference.SpeedupVsThis)
+	}
+
+	if *memProfile != "" {
+		runtime.GC() // report reachable steady-state heap, not GC garbage
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "afs-bench: heap profile written to %s\n", *memProfile)
 	}
 
 	buf, err := json.MarshalIndent(&r, "", "  ")
@@ -389,6 +465,67 @@ func microPoint(d int, p float64) benchPoint {
 		AllocsPerOp:   allocs,
 		ModelNSDecode: modelNS / float64(n),
 	}
+}
+
+// bench4MicroNS is BENCH_4.json's micro design-point Sample+Decode cost
+// (d=11, p=1e-3, single thread) — the scalar-pipeline number the batched
+// kernel is measured against.
+const bench4MicroNS = 1145.0
+
+// benchBatch times the fused sample+triage+decode kernel at the design
+// point, single-threaded, triaged vs untriaged, and reports the per-class
+// triage hit rates. RunAccuracy at workers=1 runs the batch kernel on the
+// calling goroutine chunk by chunk, so ns_per_trial is a clean
+// single-thread number comparable to the micro benchmarks.
+func benchBatch(r *report, quick bool) {
+	const d, p = 11, 1e-3
+	trials := uint64(1 << 21)
+	if quick {
+		trials = 1 << 18
+	}
+	cfg := montecarlo.AccuracyConfig{
+		Distance: d, P: p, Trials: trials, Seed: 2, Workers: 1,
+		New: func(g *lattice.Graph) montecarlo.Decoder {
+			return core.NewDecoder(g, core.Options{LeanStats: true, SparseShortcut: true})
+		},
+	}
+	montecarlo.RunAccuracy(cfg) // warm graph/LUT caches and worker state
+	t0 := time.Now()
+	res := montecarlo.RunAccuracy(cfg)
+	secs := time.Since(t0).Seconds()
+
+	ucfg := cfg
+	ucfg.DisableTriage = true
+	t0 = time.Now()
+	montecarlo.RunAccuracy(ucfg)
+	usecs := time.Since(t0).Seconds()
+
+	n := float64(trials)
+	r.Batch.Distance = d
+	r.Batch.P = p
+	r.Batch.Trials = trials
+	r.Batch.Workers = 1
+	r.Batch.BatchWidth = montecarlo.BatchTrials
+	r.Batch.NSPerTrial = secs * 1e9 / n
+	r.Batch.TrialsPerS = n / secs
+	r.Batch.UntriagedNS = usecs * 1e9 / n
+	r.Batch.TriageSpeedup = r.Batch.UntriagedNS / r.Batch.NSPerTrial
+	r.Batch.W0Frac = float64(res.TriageW0) / n
+	r.Batch.W1Frac = float64(res.TriageW1) / n
+	r.Batch.W2Frac = float64(res.TriageW2) / n
+	r.Batch.MultiFrac = float64(res.TriageMulti) / n
+	r.Batch.FullFrac = float64(res.FullDecodes) / n
+	r.Batch.Bench4MicroNS = bench4MicroNS
+	r.Batch.SpeedupVsBench4 = bench4MicroNS / r.Batch.NSPerTrial
+
+	fmt.Printf("\n== batch kernel: fused sample+triage+decode, d=%d p=%g, workers=1 ==\n", d, p)
+	fmt.Printf("triaged:   %6.0f ns/trial (%.2fM trials/sec)\n", r.Batch.NSPerTrial, r.Batch.TrialsPerS/1e6)
+	fmt.Printf("untriaged: %6.0f ns/trial, triage speedup %.2fx\n", r.Batch.UntriagedNS, r.Batch.TriageSpeedup)
+	fmt.Printf("classes: w0 %.1f%%, w1 %.1f%%, w2 %.1f%%, multi %.1f%%, full %.1f%%\n",
+		100*r.Batch.W0Frac, 100*r.Batch.W1Frac, 100*r.Batch.W2Frac,
+		100*r.Batch.MultiFrac, 100*r.Batch.FullFrac)
+	fmt.Printf("vs BENCH_4 micro (%.0f ns/op): %.2fx single-thread\n",
+		r.Batch.Bench4MicroNS, r.Batch.SpeedupVsBench4)
 }
 
 // benchStream measures the streaming layer at the paper's design point.

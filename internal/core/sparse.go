@@ -132,10 +132,10 @@ func (s *sparseScratch) find(i int32) int32 {
 }
 
 func abs32(x int32) int32 {
-	if x < 0 {
-		return -x
-	}
-	return x
+	// Branchless: the triage and sparse classifiers call this in O(k^2)
+	// loops over defect pairs where the sign is data-random.
+	m := x >> 31
+	return (x ^ m) - m
 }
 
 // decodeSparse attempts the shortcut. It returns (correction, true) when

@@ -1,0 +1,264 @@
+// Exhaustive soundness tests for the weight-class triage layer: every
+// weight-1 and weight-2 defect placement on small graphs, checked against
+// every decoder in the repository. This is an external test package so it
+// can pull in the decoders that themselves import core.
+package core_test
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+
+	"afs/internal/core"
+	"afs/internal/hierarchical"
+	"afs/internal/lattice"
+	"afs/internal/lut"
+	"afs/internal/mwpm"
+)
+
+// cutParity counts north-cut edges (spatial edges on vertical k=0 qubits)
+// mod 2 — the logical-failure contribution of a correction.
+func cutParity(g *lattice.Graph, edges []int32) bool {
+	p := false
+	for _, e := range edges {
+		ed := &g.Edges[e]
+		if ed.Kind == lattice.Spatial && ed.Qubit < int32(g.Distance) {
+			p = !p
+		}
+	}
+	return p
+}
+
+// checkSyndrome verifies that corr's syndrome is exactly defects.
+func checkSyndrome(t *testing.T, g *lattice.Graph, corr, defects []int32) {
+	t.Helper()
+	par := make(map[int32]int)
+	for _, e := range corr {
+		ed := &g.Edges[e]
+		if !g.IsBoundary(ed.U) {
+			par[ed.U] ^= 1
+		}
+		if !g.IsBoundary(ed.V) {
+			par[ed.V] ^= 1
+		}
+	}
+	for _, v := range defects {
+		par[v] ^= 1
+	}
+	for v, p := range par {
+		if p != 0 {
+			t.Fatalf("correction syndrome mismatch at vertex %d (defects %v, corr %v)", v, defects, corr)
+		}
+	}
+}
+
+type namedDecoder struct {
+	name   string
+	decode func([]int32) []int32
+}
+
+// decodersFor builds every decoder variant in the repo that accepts g.
+func decodersFor(g *lattice.Graph) []namedDecoder {
+	out := []namedDecoder{
+		{"uf", core.NewDecoder(g, core.Options{}).Decode},
+		{"uf-lean", core.NewDecoder(g, core.Options{LeanStats: true}).Decode},
+		{"uf-sparse", core.NewDecoder(g, core.Options{LeanStats: true, SparseShortcut: true}).Decode},
+		{"mwpm", mwpm.NewDecoder(g).Decode},
+		{"hierarchical", hierarchical.New(g, core.NewDecoder(g, core.Options{})).Decode},
+	}
+	if d, err := lut.New(g); err == nil {
+		out = append(out, namedDecoder{"lut", d.Decode})
+	}
+	return out
+}
+
+func triageGraphs() []*lattice.Graph {
+	return []*lattice.Graph{
+		lattice.New2D(3), lattice.New2D(5),
+		lattice.New3D(3, 3), lattice.New3D(5, 5),
+		lattice.New3DWindow(3, 3), lattice.New3DWindow(5, 5),
+	}
+}
+
+// TestTriageExhaustiveWeightLE2 runs triage on every weight-1 and weight-2
+// placement and requires that (a) a materialized triage correction is valid
+// (right syndrome) with cut parity matching Classify, and (b) every decoder
+// in the repo produces a correction in the same homology class — the
+// failure statistic triage substitutes for.
+func TestTriageExhaustiveWeightLE2(t *testing.T) {
+	for _, g := range triageGraphs() {
+		tri := core.NewTriage(g)
+		decs := decodersFor(g)
+		classified, punted := 0, 0
+		check := func(defects []int32) {
+			corr, class, parity, ok := tri.Decode(defects)
+			cl2, par2, ok2 := tri.Classify(defects)
+			if cl2 != class || par2 != parity || ok2 != ok {
+				t.Fatalf("%v: Classify/Decode disagree on %v", g, defects)
+			}
+			if !ok {
+				punted++
+				if class != core.TriageFull {
+					t.Fatalf("%v: punt with class %v on %v", g, class, defects)
+				}
+				return
+			}
+			classified++
+			if want := core.TriageClass(len(defects)) + core.TriageW0; class != want {
+				t.Fatalf("%v: weight-%d syndrome %v classified %v", g, len(defects), defects, class)
+			}
+			checkSyndrome(t, g, corr, defects)
+			if cutParity(g, corr) != parity {
+				t.Fatalf("%v: triage corr parity != Classify parity on %v", g, defects)
+			}
+			for _, dec := range decs {
+				got := dec.decode(defects)
+				checkSyndrome(t, g, got, defects)
+				if cutParity(g, got) != parity {
+					t.Fatalf("%v: %s parity %v != triage parity %v on %v (corr %v)",
+						g, dec.name, !parity, parity, defects, got)
+				}
+			}
+		}
+		check(nil)
+		for u := int32(0); u < int32(g.V); u++ {
+			check([]int32{u})
+		}
+		for u := int32(0); u < int32(g.V); u++ {
+			for v := u + 1; v < int32(g.V); v++ {
+				check([]int32{u, v})
+			}
+		}
+		if classified == 0 {
+			t.Fatalf("%v: triage classified nothing", g)
+		}
+		// Closed odd-d graphs must never punt a weight-1 syndrome.
+		if !g.TimeBoundary && punted == 0 && g.V > 6 {
+			// Weight-2 punts exist on any graph big enough to have the
+			// ambiguous band; d=3's 2D graph is too small to require any.
+			t.Logf("%v: no punts (all weight<=2 in closed form)", g)
+		}
+	}
+}
+
+// TestTriageMultiRandomSyndromes drives ClassifySyndrome — the weight >= 3
+// pair/single decomposition — with two generators: fault-sampled syndromes
+// (XOR of random edge sets, matching the structure the noise model
+// produces) and adversarial uniform-random vertex sets. Wherever the
+// decomposition claims a closed form, every decoder in the repo must land
+// in the same homology class.
+func TestTriageMultiRandomSyndromes(t *testing.T) {
+	for _, g := range triageGraphs() {
+		tri := core.NewTriage(g)
+		decs := decodersFor(g)
+		rng := rand.New(rand.NewPCG(7, uint64(g.V)))
+		classified := 0
+		check := func(defects []int32) {
+			class, parity, ok := tri.ClassifySyndrome(defects)
+			if len(defects) <= 2 {
+				c2, p2, ok2 := tri.Classify(defects)
+				if c2 != class || p2 != parity || ok2 != ok {
+					t.Fatalf("%v: ClassifySyndrome/Classify disagree on %v", g, defects)
+				}
+				return
+			}
+			if !ok {
+				return
+			}
+			if class != core.TriageMulti {
+				t.Fatalf("%v: weight-%d syndrome %v classified %v", g, len(defects), defects, class)
+			}
+			classified++
+			for _, dec := range decs {
+				got := dec.decode(defects)
+				checkSyndrome(t, g, got, defects)
+				if cutParity(g, got) != parity {
+					t.Fatalf("%v: %s parity %v != decomposition parity %v on %v (corr %v)",
+						g, dec.name, !parity, parity, defects, got)
+				}
+			}
+		}
+		flip := make(map[int32]bool)
+		for trial := 0; trial < 3000; trial++ {
+			// Fault-sampled generator.
+			clear(flip)
+			for f := 2 + rng.IntN(5); f > 0; f-- {
+				ed := &g.Edges[rng.IntN(len(g.Edges))]
+				for _, v := range [2]int32{ed.U, ed.V} {
+					if !g.IsBoundary(v) {
+						flip[v] = !flip[v]
+					}
+				}
+			}
+			defects := make([]int32, 0, 12)
+			for v, on := range flip {
+				if on {
+					defects = append(defects, v)
+				}
+			}
+			slices.Sort(defects)
+			check(defects)
+
+			// Adversarial generator: uniform distinct vertices.
+			clear(flip)
+			for len(flip) < 3+rng.IntN(6) {
+				flip[int32(rng.IntN(g.V))] = true
+			}
+			defects = defects[:0]
+			for v := range flip {
+				defects = append(defects, v)
+			}
+			slices.Sort(defects)
+			check(defects)
+		}
+		if classified == 0 {
+			t.Fatalf("%v: decomposition never applied", g)
+		}
+	}
+}
+
+// FuzzClassifySyndrome fuzzes the decomposition against the plain
+// Union-Find decoder on the d=5 cubic graph: any syndrome the fuzzer
+// constructs where ClassifySyndrome claims a closed form must land in the
+// decoder's homology class.
+func FuzzClassifySyndrome(f *testing.F) {
+	f.Add([]byte{0, 1, 2})
+	f.Add([]byte{10, 40, 90, 91})
+	f.Add([]byte{5, 6, 7, 8, 60, 61})
+	g := lattice.New3D(5, 5)
+	tri := core.NewTriage(g)
+	dec := core.NewDecoder(g, core.Options{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 16 {
+			raw = raw[:16]
+		}
+		seen := make(map[int32]bool)
+		defects := make([]int32, 0, len(raw))
+		for _, b := range raw {
+			v := int32(b) % int32(g.V)
+			if !seen[v] {
+				seen[v] = true
+				defects = append(defects, v)
+			}
+		}
+		slices.Sort(defects)
+		_, parity, ok := tri.ClassifySyndrome(defects)
+		if !ok {
+			return
+		}
+		corr := dec.Decode(defects)
+		checkSyndrome(t, g, corr, defects)
+		if cutParity(g, corr) != parity {
+			t.Fatalf("uf parity %v != triage parity %v on %v", !parity, parity, defects)
+		}
+	})
+}
+
+// TestTriageW0 pins the trivial class.
+func TestTriageW0(t *testing.T) {
+	tri := core.NewTriage(lattice.New3D(3, 3))
+	corr, class, parity, ok := tri.Decode(nil)
+	if !ok || class != core.TriageW0 || parity || len(corr) != 0 {
+		t.Fatalf("weight-0 triage: corr=%v class=%v parity=%v ok=%v", corr, class, parity, ok)
+	}
+}

@@ -1,0 +1,164 @@
+// Boundary-distance lookup tables for the weight-class triage fast paths.
+//
+// The syndrome-space BFS above (New) proves min-weight corrections by
+// first-visit order; the same level-order argument applied to the decoding
+// graph itself gives per-vertex boundary distances: a breadth-first search
+// seeded at the boundary edges of one side reaches vertex v at level k iff
+// the cheapest fault chain connecting v to that side has weight k. Two such
+// sweeps — one from the north boundary edges (the logical cut), one from
+// every other boundary edge (south, and the temporal boundary on window
+// graphs) — classify each vertex by which side its nearest boundary is on,
+// which is all a closed-form weight-1 decode needs to know: a lone defect
+// flips the logical observable iff its unique nearest boundary is north.
+// Vertices equidistant from both sides are marked SideTie and the triage
+// layer punts them to the full decoder.
+package lut
+
+import (
+	"sync"
+
+	"afs/internal/lattice"
+)
+
+// Side classification of a vertex's nearest boundary.
+const (
+	// SideOther: the strictly nearest boundary is south or temporal, so a
+	// min-weight boundary chain from here never crosses the north cut.
+	SideOther uint8 = iota
+	// SideNorth: the strictly nearest boundary is north; every min-weight
+	// boundary chain from here crosses the north cut exactly once.
+	SideNorth
+	// SideTie: north and non-north boundaries are equidistant; min-weight
+	// chains of both logical classes exist and closed-form rules must punt.
+	SideTie
+)
+
+// Boundary holds per-vertex distance, side, and first-step tables toward
+// the nearest code boundary of a decoding graph. Build cost is two BFS
+// sweeps (O(V+E)); storage is three words per vertex — negligible next to
+// the graph itself, so instances are cached per graph (BoundaryFor).
+type Boundary struct {
+	G *lattice.Graph
+
+	// DistNorth[v] / DistOther[v]: fault weight of the cheapest chain from
+	// v to the north boundary / to any non-north boundary.
+	DistNorth []int32
+	DistOther []int32
+	// Dist[v] = min(DistNorth[v], DistOther[v]); equals
+	// lattice.BoundaryDistance(v) (asserted by tests).
+	Dist []int32
+	// Side[v] classifies the nearest boundary (SideNorth/SideOther/SideTie).
+	Side []uint8
+	// Step[v] is the edge of a min-weight chain leaving v toward the
+	// winning side's nearest boundary (the boundary edge itself when
+	// Dist[v] == 1). Along the walk v → Other(Step[v], v) → … the winning
+	// side's distance strictly decreases and — because the losing side's
+	// distance can drop by at most 1 per step — every interior vertex of
+	// the walk keeps the same winning side, so following Step greedily
+	// materializes a valid min-weight boundary correction. For SideTie
+	// vertices it stores the north chain's step; triage never walks it.
+	Step []int32
+}
+
+// BoundaryFor returns the cached Boundary tables for g, building them on
+// first use. Safe for concurrent use.
+func BoundaryFor(g *lattice.Graph) *Boundary {
+	if b, ok := boundaryCache.Load(g); ok {
+		return b.(*Boundary)
+	}
+	b, _ := boundaryCache.LoadOrStore(g, NewBoundary(g))
+	return b.(*Boundary)
+}
+
+var boundaryCache sync.Map // *lattice.Graph → *Boundary
+
+// NewBoundary builds the distance tables for g.
+func NewBoundary(g *lattice.Graph) *Boundary {
+	b := &Boundary{G: g}
+	var stepNorth, stepOther []int32
+	b.DistNorth, stepNorth = boundaryBFS(g, true)
+	b.DistOther, stepOther = boundaryBFS(g, false)
+	b.Dist = make([]int32, g.V)
+	b.Side = make([]uint8, g.V)
+	b.Step = make([]int32, g.V)
+	for v := 0; v < g.V; v++ {
+		dn, do := b.DistNorth[v], b.DistOther[v]
+		switch {
+		case dn < do:
+			b.Dist[v], b.Side[v], b.Step[v] = dn, SideNorth, stepNorth[v]
+		case do < dn:
+			b.Dist[v], b.Side[v], b.Step[v] = do, SideOther, stepOther[v]
+		default:
+			b.Dist[v], b.Side[v], b.Step[v] = dn, SideTie, stepNorth[v]
+		}
+	}
+	return b
+}
+
+// IsNorthEdge reports whether edge e is a north-boundary edge, i.e. a
+// spatial edge on a vertical k=0 data qubit — exactly the edges of the
+// logical cut (lattice.NorthCutQubits).
+func IsNorthEdge(g *lattice.Graph, ed *lattice.Edge) bool {
+	return ed.Kind == lattice.Spatial && ed.Qubit >= 0 && ed.Qubit < int32(g.Distance)
+}
+
+// boundaryBFS runs a multi-source BFS from the boundary edges of one side
+// (north if wantNorth, everything else otherwise) and returns per-vertex
+// distances and parent edges. Level-order first visits make dist[v] the
+// min fault weight of a chain from v to that side, mirroring the
+// syndrome-space BFS min-weight argument in New.
+func boundaryBFS(g *lattice.Graph, wantNorth bool) (dist, step []int32) {
+	dist = make([]int32, g.V)
+	step = make([]int32, g.V)
+	for i := range dist {
+		dist[i] = -1
+		step[i] = -1
+	}
+	bv := g.Boundary()
+	queue := make([]int32, 0, g.V)
+	// Seed: boundary-incident edges of the requested side, in increasing
+	// edge-index order so Step deterministically records the lowest index.
+	for _, e := range g.AdjacentEdges(bv) {
+		ed := &g.Edges[e]
+		if IsNorthEdge(g, ed) != wantNorth {
+			continue
+		}
+		x := ed.U
+		if g.IsBoundary(x) {
+			x = ed.V
+		}
+		if dist[x] == -1 {
+			dist[x], step[x] = 1, e
+			queue = append(queue, x)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		x := queue[head]
+		for _, e := range g.AdjacentEdges(x) {
+			u := g.Other(e, x)
+			if g.IsBoundary(u) || dist[u] != -1 {
+				continue
+			}
+			dist[u], step[u] = dist[x]+1, e
+			queue = append(queue, u)
+		}
+	}
+	return dist, step
+}
+
+// AppendChain appends the edges of the min-weight boundary chain from v
+// (following Step) to out and returns the extended slice. v must not be a
+// SideTie vertex; the chain has exactly Dist[v] edges and terminates in a
+// boundary edge of the winning side.
+func (b *Boundary) AppendChain(v int32, out []int32) []int32 {
+	g := b.G
+	for x := v; ; {
+		e := b.Step[x]
+		out = append(out, e)
+		u := g.Other(e, x)
+		if g.IsBoundary(u) {
+			return out
+		}
+		x = u
+	}
+}

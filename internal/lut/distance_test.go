@@ -1,0 +1,129 @@
+package lut_test
+
+import (
+	"testing"
+
+	"afs/internal/lattice"
+	"afs/internal/lut"
+)
+
+func distGraphs() []*lattice.Graph {
+	return []*lattice.Graph{
+		lattice.New2D(3), lattice.New2D(5), lattice.New2D(7),
+		lattice.New3D(3, 3), lattice.New3D(5, 5),
+		lattice.New3DWindow(3, 3), lattice.New3DWindow(5, 5),
+	}
+}
+
+// The BFS distances must agree with the lattice's closed-form boundary
+// distances on every graph flavor.
+func TestBoundaryDistMatchesLattice(t *testing.T) {
+	for _, g := range distGraphs() {
+		b := lut.NewBoundary(g)
+		for v := int32(0); v < int32(g.V); v++ {
+			if got, want := int(b.Dist[v]), g.BoundaryDistance(v); got != want {
+				t.Fatalf("%v: Dist[%d] = %d, BoundaryDistance = %d", g, v, got, want)
+			}
+			if min := min32(b.DistNorth[v], b.DistOther[v]); min != b.Dist[v] {
+				t.Fatalf("%v: Dist[%d] = %d != min(north %d, other %d)",
+					g, v, b.Dist[v], b.DistNorth[v], b.DistOther[v])
+			}
+		}
+	}
+}
+
+// On closed graphs the north and south distances are r+1 and d-1-r, which
+// never tie for odd d; window graphs may tie against the temporal boundary.
+func TestBoundarySides(t *testing.T) {
+	for _, g := range distGraphs() {
+		b := lut.NewBoundary(g)
+		for v := int32(0); v < int32(g.V); v++ {
+			r, _, _ := g.VertexCoords(v)
+			if dn := int32(r + 1); b.DistNorth[v] != dn {
+				t.Fatalf("%v: DistNorth[%d] = %d, want %d", g, v, b.DistNorth[v], dn)
+			}
+			if !g.TimeBoundary {
+				if ds := int32(g.Distance - 1 - r); b.DistOther[v] != ds {
+					t.Fatalf("%v: DistOther[%d] = %d, want %d", g, v, b.DistOther[v], ds)
+				}
+				if b.Side[v] == lut.SideTie {
+					t.Fatalf("%v: unexpected tie at vertex %d on a closed graph", g, v)
+				}
+			}
+			want := lut.SideTie
+			switch {
+			case b.DistNorth[v] < b.DistOther[v]:
+				want = lut.SideNorth
+			case b.DistOther[v] < b.DistNorth[v]:
+				want = lut.SideOther
+			}
+			if b.Side[v] != want {
+				t.Fatalf("%v: Side[%d] = %d, want %d", g, v, b.Side[v], want)
+			}
+		}
+	}
+}
+
+// AppendChain must produce a chain of exactly Dist[v] edges whose syndrome
+// is {v} and whose single boundary edge sits on the winning side.
+func TestBoundaryChains(t *testing.T) {
+	for _, g := range distGraphs() {
+		b := lut.NewBoundary(g)
+		par := make(map[int32]int)
+		for v := int32(0); v < int32(g.V); v++ {
+			if b.Side[v] == lut.SideTie {
+				continue
+			}
+			chain := b.AppendChain(v, nil)
+			if len(chain) != int(b.Dist[v]) {
+				t.Fatalf("%v: chain from %d has %d edges, want %d", g, v, len(chain), b.Dist[v])
+			}
+			clear(par)
+			boundaryEdges := 0
+			for _, e := range chain {
+				ed := &g.Edges[e]
+				for _, x := range []int32{ed.U, ed.V} {
+					if g.IsBoundary(x) {
+						boundaryEdges++
+					} else {
+						par[x] ^= 1
+					}
+				}
+				if north := lut.IsNorthEdge(g, ed); g.IsBoundary(ed.U) || g.IsBoundary(ed.V) {
+					if north != (b.Side[v] == lut.SideNorth) {
+						t.Fatalf("%v: chain from %d exits north=%v, side=%d", g, v, north, b.Side[v])
+					}
+				}
+			}
+			if boundaryEdges != 1 {
+				t.Fatalf("%v: chain from %d uses %d boundary edges", g, v, boundaryEdges)
+			}
+			odd := 0
+			for x, p := range par {
+				if p == 1 {
+					odd++
+					if x != v {
+						t.Fatalf("%v: chain from %d has stray defect at %d", g, v, x)
+					}
+				}
+			}
+			if odd != 1 {
+				t.Fatalf("%v: chain from %d produces syndrome of weight %d", g, v, odd)
+			}
+		}
+	}
+}
+
+func TestBoundaryForCached(t *testing.T) {
+	g := lattice.New2D(3)
+	if lut.BoundaryFor(g) != lut.BoundaryFor(g) {
+		t.Fatal("BoundaryFor did not cache per graph")
+	}
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}

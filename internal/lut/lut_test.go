@@ -1,4 +1,4 @@
-package lut
+package lut_test
 
 import (
 	"math/rand/v2"
@@ -7,13 +7,14 @@ import (
 
 	"afs/internal/core"
 	"afs/internal/lattice"
+	"afs/internal/lut"
 	"afs/internal/mwpm"
 	"afs/internal/noise"
 )
 
 func TestTableDimensions(t *testing.T) {
 	g := lattice.New2D(3)
-	d, err := New(g)
+	d, err := lut.New(g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,10 +27,10 @@ func TestTableDimensions(t *testing.T) {
 }
 
 func TestRejectsLargeGraphs(t *testing.T) {
-	if _, err := New(lattice.New2D(7)); err == nil {
+	if _, err := lut.New(lattice.New2D(7)); err == nil {
 		t.Fatal("d=7 (42 syndrome bits) accepted — the scalability wall should reject it")
 	}
-	if _, err := New(lattice.New3D(5, 5)); err == nil {
+	if _, err := lut.New(lattice.New3D(5, 5)); err == nil {
 		t.Fatal("d=5 cycle (100 syndrome bits) accepted")
 	}
 }
@@ -40,7 +41,7 @@ func TestRejectsLargeGraphs(t *testing.T) {
 // (data or measurement) must be corrected without logical error.
 func TestThreeDimensionalD3(t *testing.T) {
 	g := lattice.New3D(3, 3)
-	dec, err := New(g)
+	dec, err := lut.New(g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestThreeDimensionalD3(t *testing.T) {
 // minimum fault weight must equal the MWPM decoder's matching cost.
 func TestThreeDimensionalMatchesMWPMWeight(t *testing.T) {
 	g := lattice.New3D(3, 3)
-	lutDec, err := New(g)
+	lutDec, err := lut.New(g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestThreeDimensionalMatchesMWPMWeight(t *testing.T) {
 func TestDecodeReproducesSyndrome(t *testing.T) {
 	for _, dist := range []int{3, 4, 5} {
 		g := lattice.New2D(dist)
-		dec, err := New(g)
+		dec, err := lut.New(g)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -130,7 +131,7 @@ func TestDecodeReproducesSyndrome(t *testing.T) {
 // syndrome.
 func TestMinimumWeightAgreesWithMWPM(t *testing.T) {
 	g := lattice.New2D(4)
-	lutDec, err := New(g)
+	lutDec, err := lut.New(g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func maskOf(defects []int32) uint32 {
 // decoding must terminate and reproduce it (the table is total).
 func TestEveryTableEntryValid(t *testing.T) {
 	g := lattice.New2D(3)
-	dec, err := New(g)
+	dec, err := lut.New(g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +196,7 @@ func TestEveryTableEntryValid(t *testing.T) {
 
 func TestSingleErrorsCorrectedExactly(t *testing.T) {
 	g := lattice.New2D(5)
-	dec, err := New(g)
+	dec, err := lut.New(g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,9 +214,9 @@ func TestSingleErrorsCorrectedExactly(t *testing.T) {
 // decoders out at AFS scales (the paper's scalability argument).
 func TestScalingWall(t *testing.T) {
 	g3 := lattice.New2D(3)
-	d3, _ := New(g3)
+	d3, _ := lut.New(g3)
 	g4 := lattice.New2D(4)
-	d4, _ := New(g4)
+	d4, _ := lut.New(g4)
 	if d4.TableBytes() <= d3.TableBytes()*10 {
 		t.Fatalf("expected explosive growth: d=3 %d B, d=4 %d B",
 			d3.TableBytes(), d4.TableBytes())
@@ -224,7 +225,7 @@ func TestScalingWall(t *testing.T) {
 
 func BenchmarkDecodeLUT(b *testing.B) {
 	g := lattice.New3D(3, 3)
-	dec, err := New(g)
+	dec, err := lut.New(g)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -6,7 +6,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"afs/internal/noise"
 	"afs/internal/stats"
 )
 
@@ -24,8 +23,16 @@ type point struct {
 	defects  atomic.Uint64 // total defects observed (for MeanDefects)
 	stopped  atomic.Bool   // adaptive early-stopping latch
 
-	mu         sync.Mutex
-	start, end time.Time
+	// Triage-class tallies (see kernel.run), folded in once per chunk.
+	w0, w1, w2, multi, full atomic.Uint64
+
+	// Wall-clock bookkeeping: a CAS-latched start and a plain store per
+	// chunk end. The mutex-and-time.Time pair this replaces put two lock
+	// round-trips and a time.Now on every claim; now a claim after the
+	// first costs one atomic load.
+	started atomic.Bool
+	startNS atomic.Int64
+	endNS   atomic.Int64
 }
 
 func newPoint(cfg AccuracyConfig) *point {
@@ -44,11 +51,9 @@ func (pt *point) claim() (lo, hi uint64, c uint64, ok bool) {
 	if c >= pt.nChunks {
 		return 0, 0, 0, false
 	}
-	pt.mu.Lock()
-	if pt.start.IsZero() {
-		pt.start = time.Now()
+	if !pt.started.Load() && pt.started.CompareAndSwap(false, true) {
+		pt.startNS.Store(time.Now().UnixNano())
 	}
-	pt.mu.Unlock()
 	lo = c * pt.chunk
 	hi = lo + pt.chunk
 	if hi > pt.cfg.Trials {
@@ -59,13 +64,26 @@ func (pt *point) claim() (lo, hi uint64, c uint64, ok bool) {
 
 // finish records a completed chunk's tallies and evaluates the adaptive
 // stopping rule.
-func (pt *point) finish(trials, failures, defects uint64) {
-	pt.failures.Add(failures)
-	pt.defects.Add(defects)
+func (pt *point) finish(trials uint64, t chunkTally) {
+	pt.failures.Add(t.failures)
+	pt.defects.Add(t.defects)
+	if t.w0 != 0 {
+		pt.w0.Add(t.w0)
+	}
+	if t.w1 != 0 {
+		pt.w1.Add(t.w1)
+	}
+	if t.w2 != 0 {
+		pt.w2.Add(t.w2)
+	}
+	if t.multi != 0 {
+		pt.multi.Add(t.multi)
+	}
+	if t.full != 0 {
+		pt.full.Add(t.full)
+	}
 	done := pt.trials.Add(trials)
-	pt.mu.Lock()
-	pt.end = time.Now()
-	pt.mu.Unlock()
+	pt.endNS.Store(time.Now().UnixNano())
 	if pt.cfg.StopRelCI <= 0 || pt.stopped.Load() {
 		return
 	}
@@ -103,12 +121,15 @@ func (pt *point) result() AccuracyResult {
 		res.LogicalErrorRate = float64(failures) / float64(executed)
 		res.MeanDefects = float64(pt.defects.Load()) / float64(executed)
 	}
+	res.TriageW0 = pt.w0.Load()
+	res.TriageW1 = pt.w1.Load()
+	res.TriageW2 = pt.w2.Load()
+	res.TriageMulti = pt.multi.Load()
+	res.FullDecodes = pt.full.Load()
 	res.CI = rateInterval(failures, executed, pt.cfg.Seed)
-	pt.mu.Lock()
-	if !pt.start.IsZero() {
-		res.Elapsed = pt.end.Sub(pt.start)
+	if pt.started.Load() {
+		res.Elapsed = time.Duration(pt.endNS.Load() - pt.startNS.Load())
 	}
-	pt.mu.Unlock()
 	return res
 }
 
@@ -134,45 +155,28 @@ func runPoints(points []*point, workers int) {
 		go func() {
 			defer wg.Done()
 			shard := nextMCShard()
-			var trial noise.Trial
-			var residual noise.Bitset
 			for _, pt := range points {
 				g := pt.cfg.graph()
-				cut := g.NorthCutQubits()
-				var dec Decoder
-				var s *noise.Sampler
+				var k *kernel
 				for {
 					lo, hi, c, ok := pt.claim()
 					if !ok {
 						break
 					}
 					// Lazy per-point state: a worker that never claims a
-					// chunk of this point builds nothing for it.
-					if dec == nil {
-						dec = pt.cfg.New(g)
-						s = noise.NewSampler(g, pt.cfg.P, pt.cfg.Seed, c)
-					} else {
-						// Each chunk owns the deterministic random stream
-						// PCG(Seed, chunkIndex), so results do not depend
-						// on which worker runs it.
-						s.Reseed(pt.cfg.Seed, c)
+					// chunk of this point builds nothing for it. Each chunk
+					// owns the deterministic random stream
+					// PCG(Seed, chunkIndex), so results do not depend on
+					// which worker runs it — nor on the batch width, since
+					// the batch sampler consumes the stream exactly like
+					// the scalar one.
+					if k == nil {
+						k = newKernel(pt.cfg, g)
 					}
-					var failures, defects uint64
-					for i := lo; i < hi; i++ {
-						s.Sample(&trial)
-						defects += uint64(len(trial.Defects))
-						corr := dec.Decode(trial.Defects)
-						ApplyCorrection(g, corr, &trial, &residual)
-						if residual.Parity(cut) {
-							failures++
-						}
-					}
-					pt.finish(hi-lo, failures, defects)
-					engineObs.chunks.Inc(shard)
-					engineObs.trials.Add(shard, hi-lo)
-					if failures != 0 {
-						engineObs.failures.Add(shard, failures)
-					}
+					k.reseed(pt.cfg.Seed, c)
+					t := k.run(hi - lo)
+					pt.finish(hi-lo, t)
+					engineObs.flushChunk(shard, hi-lo, t)
 				}
 			}
 		}()

@@ -64,6 +64,14 @@ type AccuracyConfig struct {
 	// chunk is its own random stream), not on how chunks land on workers.
 	ChunkTrials uint64
 
+	// DisableTriage turns off the weight-class triage fast paths
+	// (core.Triage) and routes every trial through New's full decoder.
+	// Triage is provably failure-equivalent for every decoder in the repo
+	// (punting whenever a closed form could be ambiguous), so this exists
+	// for ablation benches and for custom Factory implementations whose
+	// decoders deliberately deviate from minimal-correction behavior.
+	DisableTriage bool
+
 	// StopRelCI, when positive, enables adaptive early stopping: the point
 	// terminates once the Wilson 95% CI half-width divided by the observed
 	// rate is <= StopRelCI (e.g. 0.1 stops at ±10% relative precision).
@@ -125,6 +133,16 @@ type AccuracyResult struct {
 	CI               stats.RateCI
 	MeanDefects      float64
 	Elapsed          time.Duration
+	// Triage-class tallies: how many trials each closed-form fast path
+	// resolved (weight 0, 1, 2, and the weight >= 3 pair/single
+	// decomposition) and how many ran the full decoder.
+	// TriageW0+TriageW1+TriageW2+TriageMulti+FullDecodes == Trials; with
+	// DisableTriage set, FullDecodes == Trials.
+	TriageW0    uint64
+	TriageW1    uint64
+	TriageW2    uint64
+	TriageMulti uint64
+	FullDecodes uint64
 }
 
 // rateInterval attaches a 95% confidence interval to a Monte-Carlo rate:

@@ -17,6 +17,42 @@ type mcObs struct {
 	trials     *obs.Counter
 	failures   *obs.Counter
 	earlyStops *obs.Counter
+
+	// Triage-class tallies from the fused batch kernel: how many trials
+	// each fast path resolved and how many fell through to the full
+	// decoder. -metrics divides these by afs_mc_trials_total for live
+	// fast-path hit rates.
+	triageW0    *obs.Counter
+	triageW1    *obs.Counter
+	triageW2    *obs.Counter
+	triageMulti *obs.Counter
+	fullDecode  *obs.Counter
+}
+
+// flushChunk folds one completed chunk's tally into the shared counters —
+// the only obs traffic the engine generates, batch-granular by
+// construction.
+func (m *mcObs) flushChunk(shard int, trials uint64, t chunkTally) {
+	m.chunks.Inc(shard)
+	m.trials.Add(shard, trials)
+	if t.failures != 0 {
+		m.failures.Add(shard, t.failures)
+	}
+	if t.w0 != 0 {
+		m.triageW0.Add(shard, t.w0)
+	}
+	if t.w1 != 0 {
+		m.triageW1.Add(shard, t.w1)
+	}
+	if t.w2 != 0 {
+		m.triageW2.Add(shard, t.w2)
+	}
+	if t.multi != 0 {
+		m.triageMulti.Add(shard, t.multi)
+	}
+	if t.full != 0 {
+		m.fullDecode.Add(shard, t.full)
+	}
 }
 
 var (
@@ -24,11 +60,16 @@ var (
 		reg := obs.Default()
 		const s = obs.DefaultShards
 		return &mcObs{
-			points:     reg.NewCounter("afs_mc_points_total", "(d, p) measurement points started", s),
-			chunks:     reg.NewCounter("afs_mc_chunks_total", "trial chunks claimed by workers", s),
-			trials:     reg.NewCounter("afs_mc_trials_total", "Monte-Carlo trials executed", s),
-			failures:   reg.NewCounter("afs_mc_failures_total", "logical failures observed", s),
-			earlyStops: reg.NewCounter("afs_mc_early_stops_total", "points stopped early by the Wilson-CI rule", s),
+			points:      reg.NewCounter("afs_mc_points_total", "(d, p) measurement points started", s),
+			chunks:      reg.NewCounter("afs_mc_chunks_total", "trial chunks claimed by workers", s),
+			trials:      reg.NewCounter("afs_mc_trials_total", "Monte-Carlo trials executed", s),
+			failures:    reg.NewCounter("afs_mc_failures_total", "logical failures observed", s),
+			earlyStops:  reg.NewCounter("afs_mc_early_stops_total", "points stopped early by the Wilson-CI rule", s),
+			triageW0:    reg.NewCounter("afs_mc_triage_w0_total", "trials resolved by the weight-0 fast path", s),
+			triageW1:    reg.NewCounter("afs_mc_triage_w1_total", "trials resolved by the weight-1 closed form", s),
+			triageW2:    reg.NewCounter("afs_mc_triage_w2_total", "trials resolved by the weight-2 closed form", s),
+			triageMulti: reg.NewCounter("afs_mc_triage_multi_total", "trials resolved by the pair/single decomposition", s),
+			fullDecode:  reg.NewCounter("afs_mc_full_decodes_total", "trials decoded by the full pipeline", s),
 		}
 	}()
 	mcObsShardSeq atomic.Uint32

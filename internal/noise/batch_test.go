@@ -1,0 +1,116 @@
+package noise
+
+import (
+	"testing"
+
+	"afs/internal/lattice"
+)
+
+// The batch sampler must consume its random stream exactly like the scalar
+// sampler: same seeds, same trials, edge-for-edge and defect-for-defect.
+// The Monte-Carlo engine's determinism contract (results independent of
+// worker count and of batching) rides on this equivalence.
+func TestBatchSamplerMatchesScalarSampler(t *testing.T) {
+	for _, tc := range []struct {
+		d, rounds int
+		p         float64
+	}{
+		{3, 1, 0.01}, {3, 3, 0.003}, {5, 5, 0.001}, {7, 7, 0.02}, {5, 5, 0},
+	} {
+		g := lattice.New3D(tc.d, tc.rounds)
+		if tc.rounds == 1 {
+			g = lattice.New2D(tc.d)
+		}
+		cut := g.NorthCutQubits()
+		scalar := NewSampler(g, tc.p, 42, 99)
+		batched := NewBatchSampler(g, tc.p, 42, 99, cut)
+
+		const trials, k = 503, 64 // deliberately not a multiple of k
+		var tr Trial
+		var b Batch
+		done := 0
+		for done < trials {
+			n := k
+			if trials-done < n {
+				n = trials - done
+			}
+			batched.SampleBatch(&b, n)
+			if b.K != n {
+				t.Fatalf("batch K = %d, want %d", b.K, n)
+			}
+			for i := 0; i < n; i++ {
+				scalar.Sample(&tr)
+				if !equalInt32(b.TrialEdges(i), tr.ErrorEdges) {
+					t.Fatalf("d=%d p=%g trial %d: edges %v != scalar %v",
+						tc.d, tc.p, done+i, b.TrialEdges(i), tr.ErrorEdges)
+				}
+				if !equalInt32(b.TrialDefects(i), tr.Defects) {
+					t.Fatalf("d=%d p=%g trial %d: defects %v != scalar %v",
+						tc.d, tc.p, done+i, b.TrialDefects(i), tr.Defects)
+				}
+				if want := tr.NetData.Parity(cut); b.CutParity[i] != want {
+					t.Fatalf("d=%d p=%g trial %d: cut parity %v, NetData says %v",
+						tc.d, tc.p, done+i, b.CutParity[i], want)
+				}
+			}
+			done += n
+		}
+		if scalar.MeanFaults() != batched.MeanFaults() {
+			t.Fatalf("mean faults diverge: scalar %g batched %g",
+				scalar.MeanFaults(), batched.MeanFaults())
+		}
+	}
+}
+
+// Reseeding mid-run must reproduce the same batches, and the batch width
+// must not affect the trial sequence.
+func TestBatchSamplerReseedAndWidthInvariance(t *testing.T) {
+	g := lattice.New3D(5, 5)
+	cut := g.NorthCutQubits()
+	s := NewBatchSampler(g, 0.01, 7, 7, cut)
+	var one, b Batch
+	s.Reseed(1234, 5)
+	s.SampleBatch(&b, 100)
+	ref := append([]int32(nil), b.Defects...)
+	refOff := append([]int32(nil), b.DefectOff...)
+
+	s.Reseed(1234, 5)
+	var got []int32
+	var gotOff []int32
+	gotOff = append(gotOff, 0)
+	for i := 0; i < 100; i += 10 {
+		s.SampleBatch(&one, 10)
+		for j := 0; j < 10; j++ {
+			got = append(got, one.TrialDefects(j)...)
+			gotOff = append(gotOff, gotOff[len(gotOff)-1]+int32(len(one.TrialDefects(j))))
+		}
+	}
+	if !equalInt32(got, ref) || !equalInt32(gotOff, refOff) {
+		t.Fatal("batch width changed the sampled trial sequence")
+	}
+}
+
+// Steady-state batch sampling must not allocate.
+func TestBatchSamplerZeroAllocSteadyState(t *testing.T) {
+	g := lattice.New3D(11, 11)
+	s := NewBatchSampler(g, 0.001, 3, 4, g.NorthCutQubits())
+	var b Batch
+	for i := 0; i < 8; i++ { // warm storage to high-water mark
+		s.SampleBatch(&b, 256)
+	}
+	if avg := testing.AllocsPerRun(50, func() { s.SampleBatch(&b, 256) }); avg != 0 {
+		t.Fatalf("SampleBatch allocates %.1f times per call in steady state", avg)
+	}
+}
+
+func equalInt32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

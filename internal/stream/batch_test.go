@@ -1,0 +1,225 @@
+package stream
+
+import (
+	"slices"
+	"testing"
+
+	"afs/internal/noise"
+)
+
+// TestStreamPushLayersMatchesSequential: the batch ingestion entry must be
+// bit-identical to round-by-round PushLayer for any batch partition of the
+// same round sequence, and a malformed batch must be rejected atomically —
+// no layers ingested, the decoder still in lockstep with the reference.
+func TestStreamPushLayersMatchesSequential(t *testing.T) {
+	const d, rounds = 5, 400
+	a, err := New(d, d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(d, d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := noise.NewRoundSampler(d, 0.01, 77, 1)
+	sb := noise.NewRoundSampler(d, 0.01, 77, 1)
+
+	// Varying batch sizes, including batches spanning several window
+	// decodes and empty batches.
+	sizes := []int{1, 3, 0, 7, 2, 13, 1, 29, 5}
+	fed := 0
+	si := 0
+	for fed < rounds {
+		k := sizes[si%len(sizes)]
+		si++
+		if fed+k > rounds {
+			k = rounds - fed
+		}
+		batch := make([][]int32, k)
+		for r := 0; r < k; r++ {
+			ev := slices.Clone(sa.SampleRound())
+			batch[r] = ev
+			if err := b.PushLayer(sb.SampleRound()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := a.PushLayers(batch); err != nil {
+			t.Fatal(err)
+		}
+		fed += k
+
+		// Every few batches, offer a malformed one: valid rounds followed
+		// by an out-of-range index. It must change nothing.
+		if si%3 == 0 {
+			buffered := a.Buffered()
+			bad := [][]int32{{0}, {1}, {int32(d * (d - 1))}}
+			if err := a.PushLayers(bad); err == nil {
+				t.Fatal("malformed batch accepted")
+			}
+			if a.Buffered() != buffered {
+				t.Fatalf("rejected batch still ingested layers: %d -> %d", buffered, a.Buffered())
+			}
+		}
+	}
+	got, want := a.Flush(), b.Flush()
+	if !slices.Equal(got, want) {
+		t.Fatalf("PushLayers diverged from sequential PushLayer: %d vs %d corrections", len(got), len(want))
+	}
+}
+
+// TestStreamW0SkipBitIdentical proves the weight-0 window skip is an
+// optimization, not a behavior change: a decoder with the skip forced off
+// commits identical corrections and reports an identical fault ledger, in
+// plain mode and in robust (deadline + backpressure) mode where the skip
+// must also reproduce the empty decode's cost accounting — including
+// injected penalties pushing an empty window over its deadline.
+func TestStreamW0SkipBitIdentical(t *testing.T) {
+	const d, rounds = 4, 600
+	for _, robust := range []bool{false, true} {
+		a, err := New(d, d, 0) // skip enabled (default)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := New(d, d, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.disableW0Skip = true
+		if robust {
+			cfg := Robust{DeadlineNS: 300, QueueCap: 3 * d}
+			if err := a.SetRobust(cfg); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.SetRobust(cfg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// p low enough that most windows are empty, high enough that some
+		// are not — both sides of the branch run in one stream.
+		sa := noise.NewRoundSampler(d, 0.002, 11, 2)
+		sb := noise.NewRoundSampler(d, 0.002, 11, 2)
+		for r := 0; r < rounds; r++ {
+			if robust && r%37 == 0 {
+				// A penalty larger than the deadline forces the timeout and
+				// degraded-commit paths even on empty windows.
+				a.AddPenaltyNS(500)
+				b.AddPenaltyNS(500)
+			}
+			if err := a.PushLayer(sa.SampleRound()); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.PushLayer(sb.SampleRound()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, want := a.Flush(), b.Flush()
+		if !slices.Equal(got, want) {
+			t.Fatalf("robust=%v: W0 skip changed corrections: %d vs %d", robust, len(got), len(want))
+		}
+		if ra, rb := a.Report(), b.Report(); ra != rb {
+			t.Fatalf("robust=%v: W0 skip changed the fault ledger:\n skip %+v\n full %+v", robust, ra, rb)
+		}
+		// An all-empty flush exercises the skip on final (closed) windows.
+		for r := 0; r < d+1; r++ {
+			a.PushLayer(nil)
+			b.PushLayer(nil)
+		}
+		if got, want := a.Flush(), b.Flush(); len(got) != 0 || len(want) != 0 {
+			t.Fatalf("robust=%v: empty stream committed corrections: %d vs %d", robust, len(got), len(want))
+		}
+	}
+}
+
+// TestStreamW0SkipCounted: quiet windows must show up on the
+// afs_stream_w0_windows_total counter, bounded by the window count.
+func TestStreamW0SkipCounted(t *testing.T) {
+	const d = 4
+	dec, err := New(d, d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := registeredObs.w0Windows.Value()
+	for r := 0; r < 20*d; r++ {
+		dec.PushLayer(nil)
+	}
+	dec.Flush()
+	skipped := registeredObs.w0Windows.Value() - before
+	if skipped == 0 {
+		t.Fatal("no weight-0 windows counted on an all-empty stream")
+	}
+	if w := registeredObs.windows.Value(); skipped > w {
+		t.Fatalf("w0 windows %d exceed total windows %d", skipped, w)
+	}
+}
+
+// TestEnginePushRoundsMatchesPushRound: the fleet batch entry must commit
+// exactly what per-round ingestion commits, for both its serial fast path
+// (batches that trigger no decode) and its single-dispatch pool path, at
+// one worker and several.
+func TestEnginePushRoundsMatchesPushRound(t *testing.T) {
+	const streams, d, rounds = 5, 4, 240
+	for _, workers := range []int{1, 3} {
+		want := runEngine(t, streams, workers, d, d, 0, rounds)
+
+		out := make([][]Correction, streams)
+		eng, err := NewEngine(EngineConfig{
+			Streams: streams, Distance: d, Workers: workers,
+			Sink: func(stream int, c Correction) { out[stream] = append(out[stream], c) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		samplers := make([]*noise.RoundSampler, streams)
+		for i := range samplers {
+			samplers[i] = noise.NewRoundSampler(d, 0.01, 42, uint64(i)*0x9e37+1)
+		}
+		sizes := []int{1, 2, 5, 3, 11} // mix below and above the window
+		fed := 0
+		for si := 0; fed < rounds; si++ {
+			k := sizes[si%len(sizes)]
+			if fed+k > rounds {
+				k = rounds - fed
+			}
+			batch := make([][][]int32, k)
+			for r := 0; r < k; r++ {
+				batch[r] = make([][]int32, streams)
+				for i := 0; i < streams; i++ {
+					batch[r][i] = slices.Clone(samplers[i].SampleRound())
+				}
+			}
+			if err := eng.PushRounds(batch); err != nil {
+				t.Fatal(err)
+			}
+			fed += k
+		}
+		if err := eng.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		eng.Close()
+		for i := range want {
+			if !slices.Equal(out[i], want[i]) {
+				t.Fatalf("workers=%d stream %d: PushRounds diverged from per-round ingestion (%d vs %d corrections)",
+					workers, i, len(out[i]), len(want[i]))
+			}
+		}
+	}
+}
+
+// TestEnginePushRoundsValidation: shape errors reject the batch before any
+// ingestion; the zero-length batch is a no-op.
+func TestEnginePushRoundsValidation(t *testing.T) {
+	eng, err := NewEngine(EngineConfig{Streams: 2, Distance: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if err := eng.PushRounds(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if err := eng.PushRounds([][][]int32{{nil, nil}, {nil}}); err == nil {
+		t.Fatal("mis-shaped batch accepted")
+	}
+	if got := eng.Decoder(0).Buffered(); got != 0 {
+		t.Fatalf("rejected batch ingested %d layers", got)
+	}
+}

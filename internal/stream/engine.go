@@ -302,6 +302,61 @@ func (e *Engine) PushRound(events [][]int32) error {
 	}})
 }
 
+// PushRounds feeds a batch of rounds to the whole fleet in one call:
+// rounds[r][i] holds stream i's detection events for the r-th round of
+// the batch. It is equivalent to calling PushRound once per round, but a
+// batch that cannot trigger a window decode on any stream is ingested
+// serially (bit-sets into the rings), and a batch that can costs one
+// worker-pool barrier instead of one per decode round — the dispatch
+// shape the Conjoined Decoder's round-synchronous ingest hardware
+// implies. Shape errors reject the batch before any state changes;
+// per-stream ingestion errors poison only their stream, like PushRound.
+func (e *Engine) PushRounds(rounds [][][]int32) error {
+	if e.closed {
+		return errors.New("stream: engine used after Close")
+	}
+	for r := range rounds {
+		if len(rounds[r]) != len(e.decs) {
+			return fmt.Errorf("stream: PushRounds round %d has %d event lists for %d streams", r, len(rounds[r]), len(e.decs))
+		}
+	}
+	k := len(rounds)
+	if k == 0 {
+		return nil
+	}
+	// Same fill-level reasoning as PushRound, over the whole batch: in
+	// lockstep mode stream 0's level is the fleet's; robust (degradable)
+	// engines scan because degraded commits desync fill levels.
+	willDecode := false
+	if e.robust {
+		for _, dec := range e.decs {
+			if dec.Buffered()+k >= dec.Window {
+				willDecode = true
+				break
+			}
+		}
+	} else {
+		willDecode = e.decs[0].Buffered()+k >= e.decs[0].Window
+	}
+	if !willDecode || e.workers == 1 {
+		for i := range e.decs {
+			if e.errs[i] != nil {
+				continue
+			}
+			for r := 0; r < k; r++ {
+				if err := e.deliverRound(i, rounds[r][i]); err != nil {
+					e.errs[i] = fmt.Errorf("stream %d: %w", i, err)
+					break
+				}
+			}
+		}
+		return errors.Join(e.errs...)
+	}
+	return e.dispatch(engineJob{rounds: k, feed: func(stream, round int) []int32 {
+		return rounds[round][stream]
+	}})
+}
+
 // Flush ends every stream (decoding remainders as closed windows) and
 // leaves the engine ready for new streams. Corrections flushed this way
 // reach the sink or the retained slices like any others. Sticky ingestion

@@ -17,6 +17,7 @@ type streamObs struct {
 	erasedRounds    *obs.Counter // rounds lost on the link, synthesized empty
 	shedRounds      *obs.Counter // rounds erased by backpressure
 	windows         *obs.Counter // window decodes (sliding + final)
+	w0Windows       *obs.Counter // zero-defect windows resolved by the weight-0 skip
 	horizonSkips    *obs.Counter // windows whose decode committed nothing despite defects
 	timeouts        *obs.Counter // deadline overruns (Eq. 4 p_tof numerator)
 	degraded        *obs.Counter // one-layer degraded commits
@@ -36,6 +37,7 @@ func newStreamObs(reg *obs.Registry) *streamObs {
 		erasedRounds:    reg.NewCounter("afs_stream_erased_rounds_total", "rounds lost on the link and synthesized empty", s),
 		shedRounds:      reg.NewCounter("afs_stream_shed_rounds_total", "rounds erased by backpressure shedding", s),
 		windows:         reg.NewCounter("afs_stream_windows_total", "sliding-window decodes executed", s),
+		w0Windows:       reg.NewCounter("afs_stream_w0_windows_total", "zero-defect windows resolved by the weight-0 skip (no decode)", s),
 		horizonSkips:    reg.NewCounter("afs_stream_window_horizon_skips_total", "windows with defects but no committable correction below the horizon", s),
 		timeouts:        reg.NewCounter("afs_stream_timeouts_total", "window decodes past the model deadline (p_tof numerator)", s),
 		degraded:        reg.NewCounter("afs_stream_degraded_commits_total", "deadline overruns committed degraded (one layer)", s),

@@ -104,7 +104,12 @@ type Decoder struct {
 	queue        backlog.BoundedQueue
 	penaltyNS    float64 // injected service time charged to the next window
 	invArrivalNS float64 // 1/arrival period — queue-lag metric without a division
+	w0CostNS     float64 // Model.WindowCost of an empty decode, precomputed by SetRobust
 	rep          faults.Report
+
+	// disableW0Skip forces weight-0 windows down the full DecodeHorizon
+	// path; it exists only so tests can prove the skip is bit-identical.
+	disableW0Skip bool
 
 	// Observability (internal/obs). om is the fleet-wide metrics sink
 	// captured at construction (nil when disabled), omShard the padded-slot
@@ -123,6 +128,7 @@ type Decoder struct {
 	omWindows      uint64
 	omCorrections  uint64
 	omHorizonSkips uint64
+	omW0Windows    uint64
 	omPending      int
 	lhDefects      *obs.LocalHist
 	lhCost         *obs.LocalHist
@@ -163,6 +169,10 @@ func (d *Decoder) flushObs() {
 	if d.omHorizonSkips != 0 {
 		o.horizonSkips.Add(d.omShard, d.omHorizonSkips)
 		d.omHorizonSkips = 0
+	}
+	if d.omW0Windows != 0 {
+		o.w0Windows.Add(d.omShard, d.omW0Windows)
+		d.omW0Windows = 0
 	}
 	d.lhDefects.Flush(d.omShard)
 	d.lhCost.Flush(d.omShard)
@@ -283,6 +293,12 @@ func (d *Decoder) SetRobust(cfg Robust) error {
 	d.queue = backlog.BoundedQueue{ArrivalNS: cfg.arrivalNS(), Cap: cfg.QueueCap}
 	d.invArrivalNS = 1 / cfg.arrivalNS()
 	d.penaltyNS = 0
+	// A weight-0 window skips DecodeHorizon entirely, so its deadline
+	// charge is precomputed here: an empty decode leaves DecodeStats at
+	// the zero value (no clusters, no defects, counters reset), and
+	// WindowCost is a pure function of that value.
+	var empty core.DecodeStats
+	d.w0CostNS = cfg.Model.WindowCost(&empty)
 	if d.robustOn != wasOn {
 		// The deadline model needs per-cluster profiles but none of the
 		// per-access counters, so the robust decoder stays lean and adds
@@ -356,6 +372,28 @@ func (d *Decoder) PushLayer(events []int32) error {
 		}
 	}
 	d.ingest(events, false)
+	return nil
+}
+
+// PushLayers feeds a batch of rounds in one call: rounds[r] holds the
+// r-th round's detection events, exactly as PushLayer takes them. The
+// whole batch is validated before any state changes — a malformed round
+// anywhere rejects the batch with no layers ingested, so a caller can
+// retry or drop it atomically. Window decodes fire at the same fill
+// levels as under round-by-round ingestion; results are bit-identical to
+// the equivalent PushLayer sequence.
+func (d *Decoder) PushLayers(rounds [][]int32) error {
+	per := int32(d.per)
+	for r, events := range rounds {
+		for _, x := range events {
+			if x < 0 || x >= per {
+				return fmt.Errorf("stream: round %d of batch: ancilla index %d outside [0,%d)", r, x, per)
+			}
+		}
+	}
+	for _, events := range rounds {
+		d.ingest(events, false)
+	}
 	return nil
 }
 
@@ -497,19 +535,13 @@ func (d *Decoder) emit(c Correction) {
 // the commit region is finalized; in final mode the whole buffer is
 // decoded on a closed graph and fully committed.
 func (d *Decoder) decodeWindow(final bool) {
-	var g *lattice.Graph
-	var dec *core.Decoder
 	var layers, commit int
 	if final {
 		layers = d.ringLen
 		commit = layers
-		// A single remaining layer has no temporal structure and is decoded
-		// as a 2-D problem; finalDecoder handles both cases.
-		g, dec = d.finalDecoder(layers)
 	} else {
 		layers = d.Window
 		commit = d.Commit
-		g, dec = d.g, d.dec
 	}
 
 	// Build the defect list in window-local vertex ids. Scanning layers in
@@ -536,10 +568,32 @@ func (d *Decoder) decodeWindow(final bool) {
 		}
 	}
 
-	// Only edges with Round < commit are kept, so the decoder may skip
-	// defect groups that provably cannot reach the commit region — the
-	// horizon is where a sliding window saves most of its decode work.
-	corr := dec.DecodeHorizon(d.defects, int32(commit))
+	// Weight-0 fast path: a window with no detection events has the empty
+	// correction, and skipping DecodeHorizon outright is safe because the
+	// decoder's reset is deferred, not lost — an empty decode would only
+	// restore the previous window's touched state and zero DecodeStats,
+	// and the next non-empty decode's reset restores exactly the same
+	// state from the same undo logs. The deadline charge uses the
+	// precomputed cost of that empty decode (w0CostNS), so robust-mode
+	// accounting stays bit-identical too. At deployed error rates most
+	// windows of a quiet logical qubit take this path.
+	w0 := len(d.defects) == 0 && !d.disableW0Skip
+	var g *lattice.Graph
+	var dec *core.Decoder
+	var corr []int32
+	if !w0 {
+		if final {
+			// A single remaining layer has no temporal structure and is
+			// decoded as a 2-D problem; finalDecoder handles both cases.
+			g, dec = d.finalDecoder(layers)
+		} else {
+			g, dec = d.g, d.dec
+		}
+		// Only edges with Round < commit are kept, so the decoder may skip
+		// defect groups that provably cannot reach the commit region — the
+		// horizon is where a sliding window saves most of its decode work.
+		corr = dec.DecodeHorizon(d.defects, int32(commit))
+	}
 
 	// winTS is the window's model-time anchor (its first buffered layer's
 	// arrival slot) for the trace; cost stays 0 outside deadline mode.
@@ -549,7 +603,11 @@ func (d *Decoder) decodeWindow(final bool) {
 		// Charge the window against the deadline budget in model time: its
 		// decode cost under the memory-access model, plus any injected link
 		// penalties (retries, stalls), plus queueing behind earlier windows.
-		cost = d.robust.Model.WindowCost(&dec.Stats) + d.penaltyNS
+		if w0 {
+			cost = d.w0CostNS + d.penaltyNS
+		} else {
+			cost = d.robust.Model.WindowCost(&dec.Stats) + d.penaltyNS
+		}
 		d.penaltyNS = 0
 		d.rep.Windows++
 		if d.om != nil {
@@ -637,6 +695,9 @@ func (d *Decoder) decodeWindow(final bool) {
 	// obsFlushWindows decodes and on final windows.
 	if d.om != nil {
 		d.omWindows++
+		if w0 {
+			d.omW0Windows++
+		}
 		d.lhDefects.Observe(float64(len(d.defects)))
 		d.omCorrections += uint64(committed)
 		if committed == 0 && len(d.defects) > 0 {

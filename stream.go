@@ -45,6 +45,15 @@ func (s *StreamDecoder) Window() int { return s.inner.Window }
 // with an error before any decoder state changes.
 func (s *StreamDecoder) PushRound(events []int32) error { return s.inner.PushLayer(events) }
 
+// PushRounds feeds a batch of rounds in one call: rounds[r] holds the
+// r-th round's detection events, exactly as PushRound takes them. The
+// whole batch is validated before any state changes, so a malformed round
+// anywhere rejects the batch atomically; results are bit-identical to the
+// equivalent PushRound sequence. Batching amortizes call overhead when
+// syndrome data arrives in blocks (the shape the batched Monte-Carlo
+// pipeline and hardware round buffers produce).
+func (s *StreamDecoder) PushRounds(rounds [][]int32) error { return s.inner.PushLayers(rounds) }
+
 // OnCorrection routes every committed correction to fn the moment it is
 // finalized instead of retaining it (Committed then stays empty and Flush
 // returns nil). Passing nil restores the retaining behavior.
