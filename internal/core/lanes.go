@@ -1,0 +1,433 @@
+package core
+
+import (
+	"math/bits"
+
+	"afs/internal/lattice"
+	"afs/internal/lut"
+	"afs/internal/swar"
+)
+
+// LaneTriage is the bit-plane counterpart of Triage: it classifies 64
+// trial lanes at once from defect planes (one uint64 per vertex, bit t =
+// lane t has a defect there — see noise.PlaneGroup), using the bit-sliced
+// saturating counters of internal/swar instead of per-trial index lists.
+// The output is a set of lane masks the bit-plane Monte-Carlo kernel
+// resolves without ever materializing a defect list for the fast-path
+// lanes:
+//
+//   - W0 (weight 0): identity correction, parity 0 — exactly Triage's W0.
+//   - W1 (weight 1): NorthParity carries the lane's side bit (parity 1 iff
+//     the lone defect's strictly nearest boundary is north); TieAny flags
+//     lanes whose defect sits on a SideTie vertex, which must punt exactly
+//     as Triage.Classify does.
+//   - Matched: the lane's distance-1 graph on its defects is a perfect
+//     matching — every defect has EXACTLY one defect at L1 distance 1.
+//     Parity 0 for any weight >= 2 (see below). Matched ∩ W2 is the
+//     adjacent defect pair of a single interior fault (Triage's W2
+//     interior rule at D == 1); Matched ∩ Heavy is the all-pairs
+//     decomposition of scattered interior faults.
+//   - Chain4: like Matched except exactly two defects have adjacency
+//     degree 2 and those two are adjacent to each other — the distance-1
+//     graph is a perfect matching plus ONE 4-defect path (the signature
+//     of two faults landing edge-adjacent, the dominant conflicted shape
+//     at deployment error rates). Parity 0 (see below).
+//   - SinglesOK: the lane decomposes into adjacent pairs plus one or more
+//     isolated boundary singles, each provably independent (every single
+//     sits at fault distance 1 from a strict-side boundary, has no other
+//     defect within L1 distance 2, and any two singles in the lane are at
+//     L1 distance >= 4). Parity is SingleParity's bit — the XOR of the
+//     singles' north-side bits; the pairs contribute parity 0.
+//   - Everything else (conflicted adjacency, deep or crowded singles,
+//     W2 pairs in the punt band, W1 ties) — gathered into index lists and
+//     routed through the scalar Triage / full-decoder path.
+//
+// Soundness of the Matched rule. "Exactly one" makes the distance-1 graph
+// on the lane's defects a perfect matching: my unique neighbor's unique
+// neighbor is me (on this lattice L1 distance 1 between real vertices
+// always means exactly one shared edge). This is precisely
+// Triage.classifyMulti's conflict-free case with no leftover singles —
+// every defect pairs with its unique adjacent partner (radius 0, parity 0
+// per pair: the shared edge beats any alternative, and any two minimal
+// corrections differ by interior cycles), and the cross-group isolation
+// invariant L1(i,j) > R(i)+R(j)+1 = 1 holds automatically because a
+// cross-pair distance of 1 would raise someone's degree above one. Total
+// parity is therefore 0 for every decoder the triage layer is sound for,
+// regardless of defect count — Matched lanes with more than
+// maxTriageDefects defects are resolved here even though the scalar walk
+// would have punted them to the full decoder (same failure outcome, less
+// work; the lane-classification tests check both facts).
+//
+// Soundness of the Chain4 rule. Degrees are over the lane's distance-1
+// defect graph. With no isolated defects, no degree >= 3, exactly two
+// degree-2 defects, and those two adjacent, the components are forced:
+// two adjacent degree-2 defects share a component whose shape around them
+// is x–B–C–y with x, y at degree 1 (a fifth member would push a degree
+// past 2), i.e. exactly one 4-path, and every other component is a domino
+// (all remaining defects have degree 1; two 3-paths or longer chains
+// would contribute the wrong degree-2 census). A 4-path A–B–C–D has a
+// unique interior minimal correction — the matching {AB, CD} at weight 2;
+// {BC} leaves A, D unmatched, and any correction touching a boundary
+// costs at least 1 + B(A) + B(D) >= 3 — so every decoder resolves it
+// interior: parity 0. Union-Find concurs: all gaps are distance 1, so the
+// component merges into one even cluster in growth round one having
+// absorbed nothing beyond its defects (radius 0), and peeling pairs the
+// four defects through interior support edges. Cross-component isolation
+// is automatic exactly as for Matched — distance 1 between components
+// would change a degree. Total parity is 0 regardless of defect count,
+// so (as with Matched) lanes beyond maxTriageDefects resolve here even
+// though the scalar walk would punt them.
+//
+// Soundness of the SinglesOK rule. A qualifying single is an isolated W1
+// group of influence radius B = 1 in classifyMulti's decomposition:
+// parity = its side bit, and the sparse isolation invariant
+// L1(i,j) > R(i)+R(j)+1 holds against every other group — against a pair
+// member (radius 0) it needs L1 > 2, guaranteed by the empty distance-<=2
+// neighborhood; against another single (radius 1) it needs L1 > 3,
+// guaranteed by the pairwise distance >= 4 check. An empty distance-2
+// ring also means the single has no distance-2 duo candidate, so the
+// scalar decomposition would classify it as a single too. Pair-vs-pair
+// isolation (L1 > 1) is again automatic from degree-1 adjacency. Singles
+// deeper than B == 1 are excluded: their independence radius exceeds what
+// the distance-2 ring can certify, so those lanes punt to the scalar
+// path (which re-derives the full invariant from coordinates).
+type LaneTriage struct {
+	g    *lattice.Graph
+	bd   *lut.Boundary
+	side []uint8
+
+	// nbr6 is the fixed-width coordinate-neighbor table: entries
+	// [6v, 6v+6) are v's L1-distance-1 real neighbors, padded with the
+	// sentinel index g.V whose plane word is always zero (PlaneGroup
+	// guarantees the slot), so the per-vertex neighbor fold is six
+	// unconditional loads with no length dispatch.
+	nbr6 []int32
+	// interior marks vertices away from every lattice face (bit v of word
+	// v>>6): all six neighbors exist at the fixed layout strides ±1, ±sr,
+	// ±st, so the fold skips the nbr6 line entirely for them.
+	interior []uint64
+	sr, st   int32
+	// ring2/ring2Off is CSR over vertices: the real vertices at L1
+	// distance exactly 2 (up to 18), consulted only for isolated defects.
+	ring2    []int32
+	ring2Off []int32
+	// northBits/tieBits are per-vertex side bitmaps (bit v of word v>>6),
+	// the branchless form of the side-switch on the hot path.
+	northBits []uint64
+	tieBits   []uint64
+
+	// Per-Classify scratch: isolated-defect positions and lane masks for
+	// the singles post-pass, and the degree-2 analog for the 4-path
+	// post-pass.
+	isoV []int32
+	isoM []uint64
+	d2V  []int32
+	d2M  []uint64
+
+	// DefV/DefW are the compact defect list of the most recent Classify
+	// call: the touched vertices with a nonzero plane word, in increasing
+	// vertex order, paired with those words. The kernel's heavy-tail
+	// gather iterates this instead of re-scanning the touched bitmap.
+	// Valid until the next Classify call.
+	DefV []int32
+	DefW []uint64
+}
+
+// LaneClasses is LaneTriage.Classify's output: per-lane class masks (all
+// confined to the group's LaneMask) plus the plane-level aggregates the
+// kernel folds into parities and tallies.
+type LaneClasses struct {
+	W0, W1, W2 uint64 // syndrome weight exactly 0 / 1 / 2
+	Heavy      uint64 // syndrome weight >= 3
+	// Matched: every defect has exactly one defect at L1 distance 1 (a
+	// perfect matching; vacuously true for W0 lanes — mask with W2|Heavy
+	// before resolving). Parity 0.
+	Matched uint64
+	// Chain4: adjacent pairs plus exactly one 4-defect path (see the type
+	// doc). Parity 0. Disjoint from Matched (it requires two degree-2
+	// defects) and from SinglesOK (no isolated defects allowed).
+	Chain4 uint64
+	// SinglesOK: adjacent pairs plus >= 1 provably independent boundary
+	// singles (see the type doc); parity = SingleParity. Disjoint from
+	// Matched (it requires at least one isolated defect).
+	SinglesOK uint64
+	// NorthParity bit t = XOR over lane t's defects of "strictly nearest
+	// boundary is north". For W1 lanes this is the closed-form parity.
+	NorthParity uint64
+	// SingleParity bit t = XOR over lane t's qualifying singles of their
+	// north-side bits; meaningful only on SinglesOK lanes (masked so).
+	SingleParity uint64
+	// TieAny bit t = lane t contains a defect on a SideTie vertex. W1
+	// lanes in TieAny must punt (closed 3-D accuracy graphs never tie;
+	// window graphs do near the temporal boundary).
+	TieAny uint64
+	// Defects is the total defect count across all lanes (the kernel's
+	// MeanDefects tally).
+	Defects int
+}
+
+// NewLaneTriage builds the lane classifier for g, sharing the cached
+// boundary tables.
+func NewLaneTriage(g *lattice.Graph) *LaneTriage {
+	bd := lut.BoundaryFor(g)
+	lt := &LaneTriage{g: g, bd: bd, side: bd.Side}
+	words := (g.V + 63) / 64
+	lt.northBits = make([]uint64, words)
+	lt.tieBits = make([]uint64, words)
+	lt.nbr6 = make([]int32, 6*g.V)
+	lt.interior = make([]uint64, words)
+	lt.ring2Off = make([]int32, g.V+1)
+	d := g.Distance
+	lt.sr = int32(d)
+	lt.st = int32(d * (d - 1))
+	inBounds := func(r, c, t int) bool {
+		return r >= 0 && r <= d-2 && c >= 0 && c <= d-1 && t >= 0 && t < g.Rounds
+	}
+	for v := int32(0); v < int32(g.V); v++ {
+		switch bd.Side[v] {
+		case lut.SideNorth:
+			lt.northBits[v>>6] |= 1 << (uint(v) & 63)
+		case lut.SideTie:
+			lt.tieBits[v>>6] |= 1 << (uint(v) & 63)
+		}
+		r, c, t := g.VertexCoords(v)
+		if r > 0 && r < d-2 && c > 0 && c < d-1 && t > 0 && t < g.Rounds-1 {
+			lt.interior[v>>6] |= 1 << (uint(v) & 63)
+		}
+		n := 0
+		add := func(u int32) {
+			lt.nbr6[6*int(v)+n] = u
+			n++
+		}
+		if t > 0 {
+			add(g.VertexID(r, c, t-1))
+		}
+		if r > 0 {
+			add(g.VertexID(r-1, c, t))
+		}
+		if c > 0 {
+			add(g.VertexID(r, c-1, t))
+		}
+		if c < d-1 {
+			add(g.VertexID(r, c+1, t))
+		}
+		if r < d-2 {
+			add(g.VertexID(r+1, c, t))
+		}
+		if t < g.Rounds-1 {
+			add(g.VertexID(r, c, t+1))
+		}
+		for ; n < 6; n++ {
+			lt.nbr6[6*int(v)+n] = int32(g.V) // always-zero sentinel plane
+		}
+		for dr := -2; dr <= 2; dr++ {
+			for dc := -2; dc <= 2; dc++ {
+				for dt := -2; dt <= 2; dt++ {
+					if abs32i(dr)+abs32i(dc)+abs32i(dt) != 2 {
+						continue
+					}
+					if inBounds(r+dr, c+dc, t+dt) {
+						lt.ring2 = append(lt.ring2, g.VertexID(r+dr, c+dc, t+dt))
+					}
+				}
+			}
+		}
+		lt.ring2Off[v+1] = int32(len(lt.ring2))
+	}
+	return lt
+}
+
+func abs32i(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Classify runs the bitwise weight classification over a group's defect
+// planes. planes[v] bit t = lane t has a defect at v; it must include the
+// always-zero sentinel slot at index g.V (PlaneGroup provides it — the
+// padded neighbor table loads through it). touched is the vertex bitmap
+// of possibly-nonzero plane words (untouched vertices MUST be zero);
+// laneMask confines every returned mask to the live lanes.
+//
+// Cost: one fused pass over the touched vertices computing the
+// saturating weight counters, parity planes, and the bit-parallel
+// unique-adjacent-pair matcher, plus a short post-pass over the isolated
+// defects (rare) certifying the singles decomposition.
+func (lt *LaneTriage) Classify(planes []uint64, touched []uint64, laneMask uint64) LaneClasses {
+	var cnt, cnt2 swar.LaneCounts
+	var north, tie, conflict, deg3, isoAny, s0, sOv uint64
+	defects := 0
+	lt.isoV = lt.isoV[:0]
+	lt.isoM = lt.isoM[:0]
+	lt.d2V = lt.d2V[:0]
+	lt.d2M = lt.d2M[:0]
+	lt.DefV = lt.DefV[:0]
+	lt.DefW = lt.DefW[:0]
+	nbr6 := lt.nbr6
+	sr, st := int(lt.sr), int(lt.st)
+	for wi, tw := range touched {
+		base := wi << 6
+		nb := lt.northBits[wi]
+		tb := lt.tieBits[wi]
+		in := lt.interior[wi]
+		for tw != 0 {
+			b := bits.TrailingZeros64(tw)
+			tw &^= 1 << uint(b)
+			v := base + b
+			w := planes[v]
+			if w == 0 {
+				continue // toggles cancelled here
+			}
+			lt.DefV = append(lt.DefV, int32(v))
+			lt.DefW = append(lt.DefW, w)
+			cnt.Add(w)
+			defects += bits.OnesCount64(w)
+			north ^= w & -(nb >> uint(b) & 1)
+			if tb != 0 {
+				tie |= w & -(tb >> uint(b) & 1)
+			}
+			// Defect-neighbor count per lane, three-level saturating fold:
+			// n0 = count bit 0, n1 = count reached 2, n2 = count reached 3
+			// (the Chain4 class needs degree-2-exact). Interior vertices
+			// (the common case away from the faces) read their six
+			// neighbors at the fixed layout strides; face vertices go
+			// through the sentinel-padded nbr6 table.
+			var n0, n1, n2, p uint64
+			if in>>uint(b)&1 != 0 {
+				n0 = planes[v-st]
+				p = planes[v-sr]
+				n1 = n0 & p
+				n0 ^= p
+				p = planes[v-1]
+				n2 |= n1 & p
+				n1 |= n0 & p
+				n0 ^= p
+				p = planes[v+1]
+				n2 |= n1 & p
+				n1 |= n0 & p
+				n0 ^= p
+				p = planes[v+sr]
+				n2 |= n1 & p
+				n1 |= n0 & p
+				n0 ^= p
+				p = planes[v+st]
+				n2 |= n1 & p
+				n1 |= n0 & p
+				n0 ^= p
+			} else {
+				o := 6 * v
+				n0 = planes[nbr6[o]]
+				p = planes[nbr6[o+1]]
+				n1 = n0 & p
+				n0 ^= p
+				p = planes[nbr6[o+2]]
+				n2 |= n1 & p
+				n1 |= n0 & p
+				n0 ^= p
+				p = planes[nbr6[o+3]]
+				n2 |= n1 & p
+				n1 |= n0 & p
+				n0 ^= p
+				p = planes[nbr6[o+4]]
+				n2 |= n1 & p
+				n1 |= n0 & p
+				n0 ^= p
+				p = planes[nbr6[o+5]]
+				n2 |= n1 & p
+				n1 |= n0 & p
+				n0 ^= p
+			}
+			conflict |= w & n1
+			deg3 |= w & n2
+			if d2 := w & n1 &^ n2; d2 != 0 {
+				cnt2.Add(d2)
+				lt.d2V = append(lt.d2V, int32(v))
+				lt.d2M = append(lt.d2M, d2)
+			}
+			if is := w &^ (n0 | n1); is != 0 {
+				isoAny |= is
+				sOv |= s0 & is
+				s0 ^= is
+				lt.isoV = append(lt.isoV, int32(v))
+				lt.isoM = append(lt.isoM, is)
+			}
+		}
+	}
+	cls := LaneClasses{
+		W0:          cnt.Exactly0() & laneMask,
+		W1:          cnt.Exactly1() & laneMask,
+		W2:          cnt.Exactly2() & laneMask,
+		Heavy:       cnt.AtLeast3() & laneMask,
+		Matched:     ^(conflict | isoAny) & laneMask,
+		NorthParity: north & laneMask,
+		TieAny:      tie & laneMask,
+		Defects:     defects,
+	}
+	// 4-path post-pass: a lane qualifies when it has exactly two degree-2
+	// defects (cnt2), those two are lattice-adjacent, no defect reached
+	// degree 3, and no defect is isolated.
+	if cand := cnt2.Exactly2() &^ deg3 &^ isoAny & laneMask; cand != 0 && len(lt.d2V) >= 2 {
+		var adjPair uint64
+		for i := 1; i < len(lt.d2V); i++ {
+			mi := lt.d2M[i]
+			pi := lt.g.PackedCoords(lt.d2V[i])
+			for j := 0; j < i; j++ {
+				both := mi & lt.d2M[j]
+				if both == 0 {
+					continue
+				}
+				pj := lt.g.PackedCoords(lt.d2V[j])
+				d := abs32(int32(pi&0xffff)-int32(pj&0xffff)) +
+					abs32(int32(pi>>16&0xffff)-int32(pj>>16&0xffff)) +
+					abs32(int32(pi>>32&0xffff)-int32(pj>>32&0xffff))
+				if d == 1 {
+					adjPair |= both
+				}
+			}
+		}
+		cls.Chain4 = cand & adjPair
+	}
+	if isoAny&^conflict == 0 {
+		return cls
+	}
+	// Singles post-pass: certify each isolated defect as an independent
+	// B == 1 boundary single and accumulate the lanes' single parities.
+	var badS, singleNorth uint64
+	for i, v := range lt.isoV {
+		m := lt.isoM[i]
+		if lt.bd.Dist[v] != 1 || lt.side[v] == lut.SideTie {
+			badS |= m
+			continue
+		}
+		if lt.side[v] == lut.SideNorth {
+			singleNorth ^= m
+		}
+		for _, u := range lt.ring2[lt.ring2Off[v]:lt.ring2Off[v+1]] {
+			badS |= m & planes[u]
+		}
+	}
+	// Pairwise isolation between singles sharing a lane: radius-1 groups
+	// need L1 > 3.
+	for i := 1; i < len(lt.isoV); i++ {
+		mi := lt.isoM[i]
+		pi := lt.g.PackedCoords(lt.isoV[i])
+		for j := 0; j < i; j++ {
+			both := mi & lt.isoM[j]
+			if both == 0 {
+				continue
+			}
+			pj := lt.g.PackedCoords(lt.isoV[j])
+			d := abs32(int32(pi&0xffff)-int32(pj&0xffff)) +
+				abs32(int32(pi>>16&0xffff)-int32(pj>>16&0xffff)) +
+				abs32(int32(pi>>32&0xffff)-int32(pj>>32&0xffff))
+			if d <= 3 {
+				badS |= both
+			}
+		}
+	}
+	cls.SinglesOK = (s0 | sOv) &^ conflict &^ badS & laneMask
+	cls.SingleParity = singleNorth & cls.SinglesOK
+	return cls
+}

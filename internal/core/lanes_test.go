@@ -1,0 +1,438 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"afs/internal/lattice"
+	"afs/internal/lut"
+	"afs/internal/swar"
+)
+
+// laneRef is the per-lane scalar reference for LaneTriage.Classify: weight
+// class from the defect count, parities from the side table, the
+// perfect-matching predicate and the pairs-plus-singles certificate from
+// pairwise L1 distances.
+type laneRef struct {
+	weight      int
+	north       bool
+	tie         bool
+	matched     bool
+	chain4      bool
+	singlesOK   bool
+	singleNorth bool
+}
+
+func refClassify(g *lattice.Graph, bd *lut.Boundary, defs []int32) laneRef {
+	var ref laneRef
+	ref.weight = len(defs)
+	for _, v := range defs {
+		switch bd.Side[v] {
+		case lut.SideNorth:
+			ref.north = !ref.north
+		case lut.SideTie:
+			ref.tie = true
+		}
+	}
+	deg := make([]int, len(defs))
+	for i, u := range defs {
+		for j, v := range defs {
+			if i != j && g.GraphDistance(u, v) == 1 {
+				deg[i]++
+			}
+		}
+	}
+	ref.matched = true
+	for _, d := range deg {
+		if d != 1 {
+			ref.matched = false
+			break
+		}
+	}
+	// chain4: no isolated or degree >= 3 defect, exactly two degree-2
+	// defects, and those two adjacent (dominoes plus one 4-path).
+	ref.chain4 = len(defs) > 0
+	var d2idx []int
+	for i, d := range deg {
+		if d == 0 || d >= 3 {
+			ref.chain4 = false
+		}
+		if d == 2 {
+			d2idx = append(d2idx, i)
+		}
+	}
+	if len(d2idx) != 2 {
+		ref.chain4 = false
+	} else if ref.chain4 {
+		ref.chain4 = g.GraphDistance(defs[d2idx[0]], defs[d2idx[1]]) == 1
+	}
+	// singlesOK: no defect with two adjacent partners, at least one
+	// isolated defect, and every isolated defect certified independent —
+	// fault distance 1 from a strict-side boundary, no other defect within
+	// L1 distance 2, singles pairwise at L1 distance >= 4.
+	hasSingle, ok := false, true
+	for i, u := range defs {
+		if deg[i] >= 2 {
+			ok = false
+			break
+		}
+		if deg[i] != 0 {
+			continue
+		}
+		hasSingle = true
+		if bd.Dist[u] != 1 || bd.Side[u] == lut.SideTie {
+			ok = false
+			break
+		}
+		for j, v := range defs {
+			if i == j {
+				continue
+			}
+			d := g.GraphDistance(u, v)
+			if d <= 2 || (deg[j] == 0 && d <= 3) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			break
+		}
+		if bd.Side[u] == lut.SideNorth {
+			ref.singleNorth = !ref.singleNorth
+		}
+	}
+	ref.singlesOK = ok && hasSingle
+	if !ref.singlesOK {
+		ref.singleNorth = false
+	}
+	return ref
+}
+
+// buildPlanes scatters per-lane defect lists into plane + touched-bitmap
+// form, optionally marking extra vertices touched with no defects (the
+// cancelled-toggle case the classifier must skip). The planes carry the
+// always-zero sentinel slot at index g.V, as PlaneGroup does.
+func buildPlanes(g *lattice.Graph, lanes [][]int32, extraTouched []int32) (planes, touched []uint64) {
+	planes = make([]uint64, g.V+1)
+	touched = make([]uint64, (g.V+63)/64)
+	for lane, defs := range lanes {
+		swar.ScatterLane(planes, lane, defs)
+		for _, v := range defs {
+			touched[v>>6] |= 1 << (uint(v) & 63)
+		}
+	}
+	for _, v := range extraTouched {
+		touched[v>>6] |= 1 << (uint(v) & 63)
+	}
+	return planes, touched
+}
+
+// randomLanes draws 64 random defect sets: a mix of uniform scatters,
+// adjacent pairs (so Matched lanes actually occur), and empty lanes.
+func randomLanes(g *lattice.Graph, rng *rand.Rand) [][]int32 {
+	lanes := make([][]int32, 64)
+	for lane := range lanes {
+		seen := map[int32]bool{}
+		add := func(v int32) {
+			if !seen[v] {
+				seen[v] = true
+				lanes[lane] = append(lanes[lane], v)
+			}
+		}
+		switch rng.IntN(5) {
+		case 0: // empty or tiny scatter
+			for i := rng.IntN(3); i > 0; i-- {
+				add(int32(rng.IntN(g.V)))
+			}
+		case 1: // uniform scatter
+			for i := rng.IntN(8); i > 0; i-- {
+				add(int32(rng.IntN(g.V)))
+			}
+		case 2: // an adjacency walk (4-paths and longer chains), sometimes
+			// with a domino elsewhere
+			cur := int32(rng.IntN(g.V))
+			add(cur)
+			for step := 1 + rng.IntN(4); step > 0; step-- {
+				nbrs := testNeighbors(g, cur)
+				cur = nbrs[rng.IntN(len(nbrs))]
+				add(cur)
+			}
+			if rng.IntN(2) == 0 {
+				u := int32(rng.IntN(g.V))
+				nbrs := testNeighbors(g, u)
+				add(u)
+				add(nbrs[rng.IntN(len(nbrs))])
+			}
+		default: // adjacent pairs, sometimes polluted with a scatter
+			for i := 1 + rng.IntN(4); i > 0; i-- {
+				u := int32(rng.IntN(g.V))
+				r, c, t := g.VertexCoords(u)
+				var v int32 = -1
+				switch rng.IntN(3) {
+				case 0:
+					if c+1 < g.Distance {
+						v = g.VertexID(r, c+1, t)
+					}
+				case 1:
+					if r+1 < g.Distance-1 {
+						v = g.VertexID(r+1, c, t)
+					}
+				default:
+					if t+1 < g.Rounds {
+						v = g.VertexID(r, c, t+1)
+					}
+				}
+				if v >= 0 {
+					add(u)
+					add(v)
+				}
+			}
+			if rng.IntN(3) == 0 {
+				add(int32(rng.IntN(g.V)))
+			}
+		}
+		sortInt32Test(lanes[lane])
+	}
+	return lanes
+}
+
+// testNeighbors enumerates v's real lattice neighbors from coordinates.
+func testNeighbors(g *lattice.Graph, v int32) []int32 {
+	r, c, t := g.VertexCoords(v)
+	d := g.Distance
+	var out []int32
+	if t > 0 {
+		out = append(out, g.VertexID(r, c, t-1))
+	}
+	if r > 0 {
+		out = append(out, g.VertexID(r-1, c, t))
+	}
+	if c > 0 {
+		out = append(out, g.VertexID(r, c-1, t))
+	}
+	if c < d-1 {
+		out = append(out, g.VertexID(r, c+1, t))
+	}
+	if r < d-2 {
+		out = append(out, g.VertexID(r+1, c, t))
+	}
+	if t < g.Rounds-1 {
+		out = append(out, g.VertexID(r, c, t+1))
+	}
+	return out
+}
+
+func sortInt32Test(a []int32) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+func checkClasses(t *testing.T, g *lattice.Graph, bd *lut.Boundary, lt *LaneTriage, lanes [][]int32, laneMask uint64, extra []int32) {
+	t.Helper()
+	planes, touched := buildPlanes(g, lanes, extra)
+	cls := lt.Classify(planes, touched, laneMask)
+	wantDefects := 0
+	for lane, defs := range lanes {
+		bit := uint64(1) << uint(lane)
+		if bit&laneMask == 0 {
+			continue
+		}
+		wantDefects += len(defs)
+		ref := refClassify(g, bd, defs)
+		var gotW int
+		switch {
+		case cls.W0&bit != 0:
+			gotW = 0
+		case cls.W1&bit != 0:
+			gotW = 1
+		case cls.W2&bit != 0:
+			gotW = 2
+		default:
+			gotW = 3
+		}
+		wantW := ref.weight
+		if wantW > 3 {
+			wantW = 3
+		}
+		if gotW != wantW {
+			t.Fatalf("lane %d: weight class %d, want %d (defects %v)", lane, gotW, wantW, defs)
+		}
+		if got := cls.Heavy&bit != 0; got != (ref.weight >= 3) {
+			t.Fatalf("lane %d: heavy=%v, want %v", lane, got, ref.weight >= 3)
+		}
+		if got := cls.NorthParity&bit != 0; got != ref.north {
+			t.Fatalf("lane %d: north parity %v, want %v (defects %v)", lane, got, ref.north, defs)
+		}
+		if got := cls.TieAny&bit != 0; got != ref.tie {
+			t.Fatalf("lane %d: tie %v, want %v (defects %v)", lane, got, ref.tie, defs)
+		}
+		if got := cls.Matched&bit != 0; got != ref.matched {
+			t.Fatalf("lane %d: matched %v, want %v (defects %v)", lane, got, ref.matched, defs)
+		}
+		if got := cls.Chain4&bit != 0; got != ref.chain4 {
+			t.Fatalf("lane %d: chain4 %v, want %v (defects %v)", lane, got, ref.chain4, defs)
+		}
+		if got := cls.SinglesOK&bit != 0; got != ref.singlesOK {
+			t.Fatalf("lane %d: singlesOK %v, want %v (defects %v)", lane, got, ref.singlesOK, defs)
+		}
+		if got := cls.SingleParity&bit != 0; got != ref.singleNorth {
+			t.Fatalf("lane %d: single parity %v, want %v (defects %v)", lane, got, ref.singleNorth, defs)
+		}
+	}
+	if cls.Defects != wantDefects {
+		t.Fatalf("defect total %d, want %d", cls.Defects, wantDefects)
+	}
+	all := cls.W0 | cls.W1 | cls.W2 | cls.Heavy | cls.NorthParity | cls.TieAny |
+		cls.Matched | cls.Chain4 | cls.SinglesOK | cls.SingleParity
+	if all != all&laneMask {
+		t.Fatal("class masks leak outside the lane mask")
+	}
+	if cls.Matched&cls.SinglesOK != 0 {
+		t.Fatal("Matched and SinglesOK overlap")
+	}
+	if cls.Chain4&(cls.Matched|cls.SinglesOK) != 0 {
+		t.Fatal("Chain4 overlaps Matched or SinglesOK")
+	}
+	// The compact defect list must enumerate exactly the nonzero plane
+	// words, in ascending vertex order.
+	prev := int32(-1)
+	for i, v := range lt.DefV {
+		if v <= prev {
+			t.Fatalf("DefV not ascending at %d: %v", i, lt.DefV)
+		}
+		prev = v
+		if lt.DefW[i] != planes[v] || planes[v] == 0 {
+			t.Fatalf("DefW[%d] = %x, want nonzero %x", i, lt.DefW[i], planes[v])
+		}
+	}
+}
+
+// LaneTriage must agree lane for lane with the scalar reference, on closed
+// graphs (no ties) and window graphs (temporal-boundary ties).
+func TestLaneTriageMatchesScalarReference(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *lattice.Graph
+	}{
+		{"closed-5x5", lattice.New3D(5, 5)},
+		{"closed-3x3", lattice.New3D(3, 3)},
+		{"window-5x5", lattice.New3DWindow(5, 5)},
+	} {
+		g := tc.g
+		bd := lut.NewBoundary(g)
+		lt := NewLaneTriage(g)
+		rng := rand.New(rand.NewPCG(42, uint64(g.V)))
+		for trial := 0; trial < 60; trial++ {
+			lanes := randomLanes(g, rng)
+			var extra []int32
+			for i := 0; i < 5; i++ {
+				extra = append(extra, int32(rng.IntN(g.V)))
+			}
+			mask := ^uint64(0)
+			if trial%3 == 1 {
+				// Partial group: dead-lane defect sets must be ignored.
+				k := 1 + rng.IntN(63)
+				mask = ^uint64(0) >> uint(64-k)
+			}
+			live := lanes
+			if mask != ^uint64(0) {
+				live = make([][]int32, 64)
+				for lane := range lanes {
+					if mask&(1<<uint(lane)) != 0 {
+						live[lane] = lanes[lane]
+					}
+				}
+			}
+			checkClasses(t, g, bd, lt, live, mask, extra)
+		}
+	}
+}
+
+// Every bitwise-resolved heavy lane must be exactly a syndrome the scalar
+// pair/single decomposition resolves with the same parity — when it is
+// small enough for the scalar walk at all. Larger resolved lanes (beyond
+// maxTriageDefects) are the bit-plane layer's win over the scalar walk.
+// Resolved W2 lanes must agree with the scalar weight-2 closed form.
+func TestLaneTriageResolvedAgreesWithScalarTriage(t *testing.T) {
+	g := lattice.New3D(7, 7)
+	lt := NewLaneTriage(g)
+	tri := NewTriage(g)
+	rng := rand.New(rand.NewPCG(7, 11))
+	matchedChecked, singlesChecked, chainChecked := 0, 0, 0
+	for trial := 0; trial < 300 && (matchedChecked < 300 || singlesChecked < 100 || chainChecked < 50); trial++ {
+		lanes := randomLanes(g, rng)
+		planes, touched := buildPlanes(g, lanes, nil)
+		cls := lt.Classify(planes, touched, ^uint64(0))
+		for lane := 0; lane < 64; lane++ {
+			bit := uint64(1) << uint(lane)
+			if len(lanes[lane]) > maxTriageDefects || len(lanes[lane]) < 2 {
+				continue
+			}
+			var wantParity bool
+			switch {
+			case cls.Matched&bit != 0:
+				wantParity = false
+				matchedChecked++
+			case cls.Chain4&bit != 0:
+				wantParity = false
+				chainChecked++
+			case cls.SinglesOK&bit != 0:
+				wantParity = cls.SingleParity&bit != 0
+				singlesChecked++
+			default:
+				continue
+			}
+			class, parity, ok := tri.ClassifySyndrome(lanes[lane])
+			if !ok || parity != wantParity {
+				t.Fatalf("resolved lane %v: scalar triage says class=%v parity=%v ok=%v, want parity=%v",
+					lanes[lane], class, parity, ok, wantParity)
+			}
+			if len(lanes[lane]) == 2 && class != TriageW2 {
+				t.Fatalf("resolved weight-2 lane %v: scalar class %v, want W2", lanes[lane], class)
+			}
+			if len(lanes[lane]) > 2 && class != TriageMulti {
+				t.Fatalf("resolved heavy lane %v: scalar class %v, want multi", lanes[lane], class)
+			}
+		}
+	}
+	if matchedChecked == 0 || singlesChecked == 0 || chainChecked == 0 {
+		t.Fatalf("vacuous: matched=%d singles=%d chain4=%d lanes checked",
+			matchedChecked, singlesChecked, chainChecked)
+	}
+}
+
+// FuzzLaneClassify feeds fuzzer-chosen defect scatters through Classify
+// and cross-checks every lane against the scalar reference.
+func FuzzLaneClassify(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(64))
+	g := lattice.New3D(3, 3)
+	bd := lut.NewBoundary(g)
+	lt := NewLaneTriage(g)
+	f.Fuzz(func(t *testing.T, data []byte, kByte uint8) {
+		k := 1 + int(kByte)%64
+		mask := ^uint64(0) >> uint(64-k)
+		lanes := make([][]int32, 64)
+		seen := map[[2]int32]bool{}
+		for i := 0; i+1 < len(data); i += 2 {
+			lane := int(data[i]) % k
+			v := int32(data[i+1]) % int32(g.V)
+			key := [2]int32{int32(lane), v}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			lanes[lane] = append(lanes[lane], v)
+		}
+		for lane := range lanes {
+			sortInt32Test(lanes[lane])
+		}
+		checkClasses(t, g, bd, lt, lanes, mask, nil)
+	})
+}

@@ -118,6 +118,12 @@ type multiScratch struct {
 	deg     [maxTriageDefects]int8 // distance-1 adjacency degree
 	cnt     [maxTriageDefects]int8 // members per group id
 	d       [maxTriageDefects][maxTriageDefects]int32
+	// Sparse pair lists filled by the pairwise pass so the merge and
+	// duo-candidate passes touch only the pairs that matter instead of
+	// re-sweeping the k x k matrix. A defect has at most 6 lattice
+	// neighbours and 18 sites at L1 distance 2, which bounds the lists.
+	adj1 [3 * maxTriageDefects][2]int8 // pairs at distance 1
+	adj2 [9 * maxTriageDefects][2]int8 // pairs at distance 2
 }
 
 // TriageClass labels how a syndrome was resolved; the Monte-Carlo kernel
@@ -236,9 +242,11 @@ func (t *Triage) classifyMulti(defects []int32) (parity bool, ok bool) {
 		deg[i] = 0
 		cnt[i] = 1
 	}
-	// Pairwise distances (cached symmetrically for the later passes) and
-	// distance-1 adjacency degrees.
+	// Pairwise distances (cached symmetrically for the later passes),
+	// distance-1 adjacency degrees, and the sparse d==1 / d==2 pair lists
+	// the merge and duo passes iterate.
 	conflict := false
+	n1, n2 := 0, 0
 	for i := 0; i < k; i++ {
 		di := s.d[i][:k]
 		ri, ci, ti := r[i], c[i], tt[i]
@@ -246,31 +254,32 @@ func (t *Triage) classifyMulti(defects []int32) (parity bool, ok bool) {
 			d := abs32(ri-r[j]) + abs32(ci-c[j]) + abs32(ti-tt[j])
 			di[j] = d
 			s.d[j][i] = d
+			if d > 2 {
+				continue
+			}
 			if d == 1 {
 				deg[i]++
 				deg[j]++
 				conflict = conflict || deg[i] > 1 || deg[j] > 1
+				s.adj1[n1] = [2]int8{int8(i), int8(j)}
+				n1++
+			} else {
+				s.adj2[n2] = [2]int8{int8(i), int8(j)}
+				n2++
 			}
 		}
 	}
 	if !conflict {
 		// Every adjacency is a mutually unique duo: pair them (the shared
 		// edge beats any alternative — see the doc comment). Radius 0.
-		for i := 0; i < k; i++ {
-			if deg[i] != 1 || grp[i] != int8(i) {
-				continue
-			}
-			di := s.d[i][:k]
-			for j := i + 1; j < k; j++ {
-				if di[j] == 1 {
-					grp[j] = int8(i)
-					cnt[i], cnt[j] = 2, 0
-					rad[i], rad[j] = 0, 0
-					break
-				}
-			}
+		// With all degrees <= 1 the d==1 pairs are disjoint dominoes.
+		for a := 0; a < n1; a++ {
+			i, j := s.adj1[a][0], s.adj1[a][1]
+			grp[j] = i
+			cnt[i], cnt[j] = 2, 0
+			rad[i], rad[j] = 0, 0
 		}
-	} else if !t.mergeComponents(k) {
+	} else if !t.mergeComponents(k, n1) {
 		return false, false
 	}
 	// Distance-2 pairing among the leftover singles: a fault pair sharing a
@@ -284,21 +293,17 @@ func (t *Triage) classifyMulti(defects []int32) (parity bool, ok bool) {
 	// then j sees both i and l and punts first. deg is dead after the
 	// pairing phase and is reused as the candidate store.
 	for i := 0; i < k; i++ {
-		if cnt[i] != 1 {
+		deg[i] = -1
+	}
+	for a := 0; a < n2; a++ {
+		i, j := s.adj2[a][0], s.adj2[a][1]
+		if cnt[i] != 1 || cnt[j] != 1 {
 			continue
 		}
-		di := s.d[i][:k]
-		cand := int8(-1)
-		for j := 0; j < k; j++ {
-			if j == i || cnt[j] != 1 || di[j] != 2 {
-				continue
-			}
-			if cand >= 0 {
-				return false, false
-			}
-			cand = int8(j)
+		if deg[i] >= 0 || deg[j] >= 0 {
+			return false, false // a second distance-2 candidate: ambiguous
 		}
-		deg[i] = cand
+		deg[i], deg[j] = j, i
 	}
 	for i := 0; i < k; i++ {
 		if cnt[i] != 1 {
@@ -356,22 +361,20 @@ func (t *Triage) classifyMulti(defects []int32) (parity bool, ok bool) {
 // their defects (radius 0) and every minimal correction pairs them through
 // interior edges (any two such pairings differ by interior cycles): parity
 // 0. Odd or larger components punt the syndrome.
-func (t *Triage) mergeComponents(k int) bool {
+func (t *Triage) mergeComponents(k, n1 int) bool {
 	s := &t.ms
 	grp, rad, cnt := s.grp[:k], s.rad[:k], s.cnt[:k]
 	for changed := true; changed; {
 		changed = false
-		for i := 0; i < k; i++ {
-			di := s.d[i][:k]
-			for j := i + 1; j < k; j++ {
-				if di[j] == 1 && grp[i] != grp[j] {
-					m := grp[i]
-					if grp[j] < m {
-						m = grp[j]
-					}
-					grp[i], grp[j] = m, m
-					changed = true
+		for a := 0; a < n1; a++ {
+			i, j := s.adj1[a][0], s.adj1[a][1]
+			if grp[i] != grp[j] {
+				m := grp[i]
+				if grp[j] < m {
+					m = grp[j]
 				}
+				grp[i], grp[j] = m, m
+				changed = true
 			}
 		}
 	}

@@ -22,6 +22,28 @@ type chunkTally struct {
 	w2       uint64 // trials resolved by the weight-2 closed form
 	multi    uint64 // trials resolved by the pair/single decomposition
 	full     uint64 // trials that fell through to the full decoder
+
+	// Bit-plane kernel tallies (zero under the scalar kernel): lanes
+	// resolved straight from plane algebra vs lanes whose defect lists
+	// were gathered for the scalar path. bpFast+bpGathered == trials when
+	// the bit-plane kernel ran the chunk.
+	bpFast     uint64
+	bpGathered uint64
+}
+
+// runner is the engine-facing contract both shot kernels satisfy: the
+// scalar structure-of-arrays kernel and the bit-plane SWAR kernel.
+type runner interface {
+	reseed(seed1, seed2 uint64)
+	run(n uint64) chunkTally
+}
+
+// newRunner picks the shot kernel for cfg.
+func newRunner(cfg AccuracyConfig, g *lattice.Graph) runner {
+	if cfg.BitPlane {
+		return newBPKernel(cfg, g)
+	}
+	return newKernel(cfg, g)
 }
 
 // kernel is the fused sample+triage+decode pipeline for one measurement

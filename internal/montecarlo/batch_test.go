@@ -1,6 +1,7 @@
 package montecarlo
 
 import (
+	"math"
 	"os"
 	"testing"
 	"time"
@@ -128,6 +129,21 @@ func TestTriageTalliesPartitionTrials(t *testing.T) {
 	})
 	if res.FullDecodes != res.Trials || res.TriageW0+res.TriageW1+res.TriageW2+res.TriageMulti != 0 {
 		t.Fatalf("DisableTriage still triaged: %+v", res)
+	}
+
+	// Under early stopping Trials < TrialsRequested — the case where a
+	// requested-trials denominator would break the fractions. They must
+	// still sum to 1±ε because TriageFractions divides by executed trials.
+	res = RunAccuracy(AccuracyConfig{
+		Distance: 3, P: 0.01, Trials: 1 << 22, Seed: 5, Workers: 2, New: sparseUFFactory,
+		StopRelCI: 0.2,
+	})
+	if !res.EarlyStopped || res.Trials >= res.TrialsRequested {
+		t.Fatalf("early stopping did not fire: executed %d of %d", res.Trials, res.TrialsRequested)
+	}
+	w0, w1, w2, multi, full := res.TriageFractions()
+	if sum := w0 + w1 + w2 + multi + full; math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("triage fractions sum to %v under early stopping", sum)
 	}
 }
 

@@ -26,6 +26,10 @@ type point struct {
 	// Triage-class tallies (see kernel.run), folded in once per chunk.
 	w0, w1, w2, multi, full atomic.Uint64
 
+	// Bit-plane lane tallies (see bpKernel.run), zero under the scalar
+	// kernel.
+	bpFast, bpGathered atomic.Uint64
+
 	// Wall-clock bookkeeping: a CAS-latched start and a plain store per
 	// chunk end. The mutex-and-time.Time pair this replaces put two lock
 	// round-trips and a time.Now on every claim; now a claim after the
@@ -82,6 +86,12 @@ func (pt *point) finish(trials uint64, t chunkTally) {
 	if t.full != 0 {
 		pt.full.Add(t.full)
 	}
+	if t.bpFast != 0 {
+		pt.bpFast.Add(t.bpFast)
+	}
+	if t.bpGathered != 0 {
+		pt.bpGathered.Add(t.bpGathered)
+	}
 	done := pt.trials.Add(trials)
 	pt.endNS.Store(time.Now().UnixNano())
 	if pt.cfg.StopRelCI <= 0 || pt.stopped.Load() {
@@ -126,6 +136,8 @@ func (pt *point) result() AccuracyResult {
 	res.TriageW2 = pt.w2.Load()
 	res.TriageMulti = pt.multi.Load()
 	res.FullDecodes = pt.full.Load()
+	res.BitPlaneFastLanes = pt.bpFast.Load()
+	res.BitPlaneGatheredLanes = pt.bpGathered.Load()
 	res.CI = rateInterval(failures, executed, pt.cfg.Seed)
 	if pt.started.Load() {
 		res.Elapsed = time.Duration(pt.endNS.Load() - pt.startNS.Load())
@@ -157,7 +169,7 @@ func runPoints(points []*point, workers int) {
 			shard := nextMCShard()
 			for _, pt := range points {
 				g := pt.cfg.graph()
-				var k *kernel
+				var k runner
 				for {
 					lo, hi, c, ok := pt.claim()
 					if !ok {
@@ -169,9 +181,10 @@ func runPoints(points []*point, workers int) {
 					// PCG(Seed, chunkIndex), so results do not depend on
 					// which worker runs it — nor on the batch width, since
 					// the batch sampler consumes the stream exactly like
-					// the scalar one.
+					// the scalar one (the bit-plane kernel keeps the same
+					// per-chunk contract on its own documented stream).
 					if k == nil {
-						k = newKernel(pt.cfg, g)
+						k = newRunner(pt.cfg, g)
 					}
 					k.reseed(pt.cfg.Seed, c)
 					t := k.run(hi - lo)

@@ -64,6 +64,17 @@ type AccuracyConfig struct {
 	// chunk is its own random stream), not on how chunks land on workers.
 	ChunkTrials uint64
 
+	// BitPlane selects the bit-plane SWAR shot kernel (bitplane.go): 64
+	// trials per machine word, sampled by noise.PlaneSampler and
+	// classified by core.LaneTriage, with only heavy-tail lanes gathered
+	// into the scalar triage/decoder path. The per-chunk determinism
+	// contract is unchanged, but the random stream differs from the scalar
+	// kernel's (the plane sampler interleaves 64 trials into one
+	// geometric-skip walk — see the PlaneSampler draw-order contract), so
+	// measured rates are reproducible per kernel, not across kernels;
+	// equivalence in distribution is test-enforced.
+	BitPlane bool
+
 	// DisableTriage turns off the weight-class triage fast paths
 	// (core.Triage) and routes every trial through New's full decoder.
 	// Triage is provably failure-equivalent for every decoder in the repo
@@ -143,6 +154,39 @@ type AccuracyResult struct {
 	TriageW2    uint64
 	TriageMulti uint64
 	FullDecodes uint64
+	// Bit-plane lane tallies, populated only by the bit-plane kernel
+	// (AccuracyConfig.BitPlane): lanes resolved straight from plane
+	// algebra vs lanes whose defect lists were gathered for the scalar
+	// path. BitPlaneFastLanes+BitPlaneGatheredLanes == Trials when the
+	// bit-plane kernel ran.
+	BitPlaneFastLanes     uint64
+	BitPlaneGatheredLanes uint64
+}
+
+// TriageFractions returns the triage-class tallies as fractions of the
+// trials actually executed — the one consistent denominator (early
+// stopping can leave Trials < TrialsRequested, and the executed count is
+// what the tallies partition). The five fractions sum to 1 whenever any
+// trials ran (test-enforced).
+func (r *AccuracyResult) TriageFractions() (w0, w1, w2, multi, full float64) {
+	if r.Trials == 0 {
+		return 0, 0, 0, 0, 0
+	}
+	n := float64(r.Trials)
+	return float64(r.TriageW0) / n, float64(r.TriageW1) / n,
+		float64(r.TriageW2) / n, float64(r.TriageMulti) / n,
+		float64(r.FullDecodes) / n
+}
+
+// BitPlaneFractions returns the bit-plane lane tallies as fractions of
+// executed trials; fast+gathered == 1 whenever the bit-plane kernel ran
+// (test-enforced). Both are 0 under the scalar kernel.
+func (r *AccuracyResult) BitPlaneFractions() (fast, gathered float64) {
+	if r.Trials == 0 {
+		return 0, 0
+	}
+	n := float64(r.Trials)
+	return float64(r.BitPlaneFastLanes) / n, float64(r.BitPlaneGatheredLanes) / n
 }
 
 // rateInterval attaches a 95% confidence interval to a Monte-Carlo rate:

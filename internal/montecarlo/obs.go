@@ -27,6 +27,14 @@ type mcObs struct {
 	triageW2    *obs.Counter
 	triageMulti *obs.Counter
 	fullDecode  *obs.Counter
+
+	// Bit-plane kernel lane tallies: how many trial lanes the plane
+	// algebra resolved outright and how many were gathered into the
+	// scalar path. Both stay zero under the scalar kernel;
+	// bitplaneFast+bitplaneGathered == afs_mc_trials_total for pure
+	// bit-plane runs.
+	bitplaneFast     *obs.Counter
+	bitplaneGathered *obs.Counter
 }
 
 // flushChunk folds one completed chunk's tally into the shared counters —
@@ -53,6 +61,12 @@ func (m *mcObs) flushChunk(shard int, trials uint64, t chunkTally) {
 	if t.full != 0 {
 		m.fullDecode.Add(shard, t.full)
 	}
+	if t.bpFast != 0 {
+		m.bitplaneFast.Add(shard, t.bpFast)
+	}
+	if t.bpGathered != 0 {
+		m.bitplaneGathered.Add(shard, t.bpGathered)
+	}
 }
 
 var (
@@ -70,6 +84,10 @@ var (
 			triageW2:    reg.NewCounter("afs_mc_triage_w2_total", "trials resolved by the weight-2 closed form", s),
 			triageMulti: reg.NewCounter("afs_mc_triage_multi_total", "trials resolved by the pair/single decomposition", s),
 			fullDecode:  reg.NewCounter("afs_mc_full_decodes_total", "trials decoded by the full pipeline", s),
+			bitplaneFast: reg.NewCounter("afs_mc_bitplane_fast_lanes_total",
+				"trial lanes resolved by bit-plane algebra without gathering", s),
+			bitplaneGathered: reg.NewCounter("afs_mc_bitplane_gathered_lanes_total",
+				"trial lanes gathered from planes into the scalar decode path", s),
 		}
 	}()
 	mcObsShardSeq atomic.Uint32

@@ -9,14 +9,25 @@ import (
 // The batch sampler must consume its random stream exactly like the scalar
 // sampler: same seeds, same trials, edge-for-edge and defect-for-defect.
 // The Monte-Carlo engine's determinism contract (results independent of
-// worker count and of batching) rides on this equivalence.
+// worker count and of batching) rides on this equivalence, and the
+// bit-plane sampler's seeded distribution-equivalence harness leans on it
+// as the pinned draw-for-draw baseline — so beyond a few edge geometries
+// (2-D, above-sweep rate, p = 0) the table covers every tier-1 sweep
+// point d in {3,5,7,9,11} x p in {1e-3, 3e-3, 1e-2}.
 func TestBatchSamplerMatchesScalarSampler(t *testing.T) {
-	for _, tc := range []struct {
+	type tcase struct {
 		d, rounds int
 		p         float64
-	}{
-		{3, 1, 0.01}, {3, 3, 0.003}, {5, 5, 0.001}, {7, 7, 0.02}, {5, 5, 0},
-	} {
+	}
+	cases := []tcase{
+		{3, 1, 0.01}, {7, 7, 0.02}, {5, 5, 0},
+	}
+	for _, d := range []int{3, 5, 7, 9, 11} {
+		for _, p := range []float64{0.001, 0.003, 0.01} {
+			cases = append(cases, tcase{d, d, p})
+		}
+	}
+	for _, tc := range cases {
 		g := lattice.New3D(tc.d, tc.rounds)
 		if tc.rounds == 1 {
 			g = lattice.New2D(tc.d)

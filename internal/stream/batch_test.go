@@ -1,11 +1,28 @@
 package stream
 
 import (
+	"math/bits"
 	"slices"
 	"testing"
 
 	"afs/internal/noise"
 )
+
+// checkOcc asserts the slot-occupancy invariant: occ[s] equals the
+// popcount of slot s's ring words, for every slot (buffered or free —
+// free slots must be zero on both sides).
+func checkOcc(t *testing.T, d *Decoder, when string) {
+	t.Helper()
+	for s := 0; s < d.Window; s++ {
+		var pc int32
+		for k := 0; k < d.perWords; k++ {
+			pc += int32(bits.OnesCount64(d.ring[s*d.perWords+k]))
+		}
+		if pc != d.occ[s] {
+			t.Fatalf("%s: slot %d occupancy %d, words hold %d bits", when, s, d.occ[s], pc)
+		}
+	}
+}
 
 // TestStreamPushLayersMatchesSequential: the batch ingestion entry must be
 // bit-identical to round-by-round PushLayer for any batch partition of the
@@ -127,6 +144,56 @@ func TestStreamW0SkipBitIdentical(t *testing.T) {
 		if got, want := a.Flush(), b.Flush(); len(got) != 0 || len(want) != 0 {
 			t.Fatalf("robust=%v: empty stream committed corrections: %d vs %d", robust, len(got), len(want))
 		}
+	}
+}
+
+// TestStreamSlotOccupancyInvariant drives every path that writes ring
+// words — duplicate-index ingestion, the commit seam's carry toggle,
+// erased rounds, backpressure shedding, slides, and final flushes — and
+// checks after each round that the per-slot occupancy counters match the
+// actual popcount of the slot words. The counters are what lets
+// decodeWindow skip empty slots without scanning, so a drift here would
+// silently drop defects.
+func TestStreamSlotOccupancyInvariant(t *testing.T) {
+	const d, rounds = 5, 500
+	for _, robust := range []bool{false, true} {
+		dec, err := New(d, d, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if robust {
+			// A tight deadline plus periodic penalties forces timeouts,
+			// degraded commits, and queue shedding into the mix.
+			if err := dec.SetRobust(Robust{DeadlineNS: 250, QueueCap: 2 * d}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// p high enough that temporal corrections regularly cross the
+		// commit seam and exercise the carry-toggle occupancy updates.
+		s := noise.NewRoundSampler(d, 0.03, 5, 3)
+		for r := 0; r < rounds; r++ {
+			switch {
+			case r%23 == 11:
+				dec.PushErased()
+			case r%17 == 4:
+				// Duplicate indices within a round must not double-count.
+				ev := s.SampleRound()
+				ev = append(slices.Clone(ev), ev...)
+				if err := dec.PushLayer(ev); err != nil {
+					t.Fatal(err)
+				}
+			default:
+				if robust && r%31 == 7 {
+					dec.AddPenaltyNS(900)
+				}
+				if err := dec.PushLayer(s.SampleRound()); err != nil {
+					t.Fatal(err)
+				}
+			}
+			checkOcc(t, dec, "after push")
+		}
+		dec.Flush()
+		checkOcc(t, dec, "after flush")
 	}
 }
 

@@ -86,6 +86,17 @@ type Decoder struct {
 	ringStart int
 	ringLen   int
 
+	// occ[s] is the number of set bits in ring slot s, maintained at ingest
+	// (bits are membership-checked before setting, so duplicate indices
+	// within a round cannot double-count) and by the commit seam's carry
+	// toggle, zeroed on shed and slide. It lets decodeWindow skip empty
+	// slots without scanning their words — at deployed error rates most
+	// rounds of a quiet logical qubit are empty, so the per-slide defect
+	// scan drops from O(W·perWords) to O(W + faults) — and lets the
+	// slide/shed word-zeroing loops skip already-zero slots. Invariant
+	// (test-enforced): occ[s] == popcount(slot s's words) at all times.
+	occ []int32
+
 	// erased flags the ring slots whose rounds were lost (link erasure or
 	// backpressure shedding): the layer is synthesized empty and the next
 	// window re-derives context instead of the stream stalling.
@@ -253,6 +264,7 @@ func New(distance, window, commit int) (*Decoder, error) {
 		perWords: perWords,
 		ring:     make([]uint64, window*perWords),
 		erased:   make([]bool, window),
+		occ:      make([]int32, window),
 		om:       obsSink.Load(),
 		omShard:  nextObsShard(),
 	}
@@ -341,17 +353,6 @@ func (d *Decoder) Report() faults.Report {
 // stream runs in O(Window) memory and the steady-state push path performs
 // no allocation. Passing nil restores the retaining behavior.
 func (d *Decoder) SetSink(fn func(Correction)) { d.sink = fn }
-
-// slotWords returns the ring words of buffered layer t.
-func (d *Decoder) slotWords(t int) []uint64 {
-	// ringStart and t are both below Window, so one conditional subtract
-	// replaces an integer division on the hot path.
-	s := d.ringStart + t
-	if s >= d.Window {
-		s -= d.Window
-	}
-	return d.ring[s*d.perWords : (s+1)*d.perWords]
-}
 
 // Buffered returns the number of layers currently buffered (always below
 // Window between calls, since a full window is decoded immediately).
@@ -449,7 +450,10 @@ func (d *Decoder) ingest(events []int32, erased bool) {
 	}
 	w := d.ring[si*d.perWords : (si+1)*d.perWords]
 	for _, x := range events {
-		w[x>>6] |= 1 << (uint(x) & 63)
+		if bit := uint64(1) << (uint(x) & 63); w[x>>6]&bit == 0 {
+			w[x>>6] |= bit
+			d.occ[si]++
+		}
 	}
 	d.erased[si] = erased
 	d.ringLen++
@@ -471,9 +475,12 @@ func (d *Decoder) shedOldest() {
 		if d.erased[si] {
 			continue
 		}
-		wi := si * d.perWords
-		for k := 0; k < d.perWords; k++ {
-			d.ring[wi+k] = 0
+		if d.occ[si] != 0 {
+			wi := si * d.perWords
+			for k := 0; k < d.perWords; k++ {
+				d.ring[wi+k] = 0
+			}
+			d.occ[si] = 0
 		}
 		d.erased[si] = true
 		d.rep.ShedRounds++
@@ -548,12 +555,18 @@ func (d *Decoder) decodeWindow(final bool) {
 	// order and words in order yields it sorted with no extra pass; the
 	// per-layer vertex offset is the only translation needed. Ring slots are
 	// indexed directly — this loop runs every slide and slice headers per
-	// layer are measurable.
+	// layer are measurable. Slots with zero occupancy contribute nothing
+	// and are skipped without touching their words, so a quiet stream's
+	// per-slide scan is O(W) counter loads; the weight-0 window skip below
+	// then fires off an empty defect list exactly as before.
 	d.defects = d.defects[:0]
 	for t := 0; t < layers; t++ {
 		si := d.ringStart + t
 		if si >= d.Window {
 			si -= d.Window
+		}
+		if d.occ[si] == 0 {
+			continue
 		}
 		wi := si * d.perWords
 		off := int32(t * d.per)
@@ -657,8 +670,13 @@ func (d *Decoder) decodeWindow(final bool) {
 	// seam toggles the layer that becomes the next window's first layer —
 	// directly in its ring slot, which the slide below leaves in place.
 	var carry []uint64
+	carrySI := 0
 	if !final {
-		carry = d.slotWords(commit)
+		carrySI = d.ringStart + commit
+		if carrySI >= d.Window {
+			carrySI -= d.Window
+		}
+		carry = d.ring[carrySI*d.perWords : (carrySI+1)*d.perWords]
 	}
 	committed := 0
 	for _, ei := range corr {
@@ -683,8 +701,15 @@ func (d *Decoder) decodeWindow(final bool) {
 			if round == commit-1 && !g.IsBoundary(e.V) {
 				// The edge's far end lies in the tentative region: the
 				// committed measurement-error decision explains the event
-				// at layer `commit`, so cancel it there.
-				carry[x>>6] ^= 1 << (uint(x) & 63)
+				// at layer `commit`, so cancel it there. The toggle can set
+				// or clear the bit, so the slot occupancy moves both ways.
+				bit := uint64(1) << (uint(x) & 63)
+				if carry[x>>6]&bit == 0 {
+					d.occ[carrySI]++
+				} else {
+					d.occ[carrySI]--
+				}
+				carry[x>>6] ^= bit
 			}
 		}
 	}
@@ -713,14 +738,19 @@ func (d *Decoder) decodeWindow(final bool) {
 	}
 
 	// Slide: clear the consumed slots for reuse and advance the ring.
+	// Empty slots (occ == 0) already hold all-zero words and only need
+	// their erased flag cleared.
 	for t := 0; t < commit; t++ {
 		si := d.ringStart + t
 		if si >= d.Window {
 			si -= d.Window
 		}
-		wi := si * d.perWords
-		for k := 0; k < d.perWords; k++ {
-			d.ring[wi+k] = 0
+		if d.occ[si] != 0 {
+			wi := si * d.perWords
+			for k := 0; k < d.perWords; k++ {
+				d.ring[wi+k] = 0
+			}
+			d.occ[si] = 0
 		}
 		d.erased[si] = false
 	}

@@ -1,0 +1,214 @@
+package swar
+
+import (
+	"encoding/binary"
+	"math/bits"
+	"math/rand/v2"
+	"testing"
+)
+
+func randomMatrix(rng *rand.Rand) [64]uint64 {
+	var m [64]uint64
+	for i := range m {
+		m[i] = rng.Uint64()
+	}
+	return m
+}
+
+// transposeRef is the obvious bit-by-bit reference implementation.
+func transposeRef(a [64]uint64) [64]uint64 {
+	var out [64]uint64
+	for i := 0; i < 64; i++ {
+		for j := 0; j < 64; j++ {
+			if a[i]&(1<<uint(j)) != 0 {
+				out[j] |= 1 << uint(i)
+			}
+		}
+	}
+	return out
+}
+
+func TestTranspose64MatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 200; trial++ {
+		m := randomMatrix(rng)
+		want := transposeRef(m)
+		got := m
+		Transpose64(&got)
+		if got != want {
+			t.Fatalf("trial %d: transpose diverges from reference", trial)
+		}
+	}
+}
+
+// transpose ∘ transpose = id.
+func TestTranspose64SelfInverse(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for trial := 0; trial < 200; trial++ {
+		m := randomMatrix(rng)
+		got := m
+		Transpose64(&got)
+		Transpose64(&got)
+		if got != m {
+			t.Fatalf("trial %d: double transpose is not the identity", trial)
+		}
+	}
+}
+
+// The saturating lane counter must agree with exact per-lane popcounts on
+// counts 0..2 and classify everything >= 3 as heavy.
+func TestLaneCountsMatchExactPopcounts(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.IntN(200)
+		planes := make([]uint64, n)
+		for i := range planes {
+			// Sparse-ish planes so all weight classes appear.
+			planes[i] = rng.Uint64() & rng.Uint64() & rng.Uint64()
+		}
+		var c LaneCounts
+		for _, w := range planes {
+			c.Add(w)
+		}
+		var exact [64]int32
+		LanePopcounts(planes, &exact)
+		for lane := 0; lane < 64; lane++ {
+			bit := uint64(1) << uint(lane)
+			var want int32
+			switch {
+			case c.Exactly0()&bit != 0:
+				want = 0
+			case c.Exactly1()&bit != 0:
+				want = 1
+			case c.Exactly2()&bit != 0:
+				want = 2
+			}
+			if c.AtLeast3()&bit != 0 {
+				if exact[lane] < 3 {
+					t.Fatalf("lane %d: counter says >=3, exact %d", lane, exact[lane])
+				}
+				continue
+			}
+			if exact[lane] != want {
+				t.Fatalf("lane %d: counter says %d, exact %d", lane, want, exact[lane])
+			}
+		}
+	}
+}
+
+// popcount over planes = per-lane weight: LanePopcounts must equal the
+// per-lane GatherLane list length, tying the reduction to the extraction.
+func TestLanePopcountsMatchGatherLane(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	planes := make([]uint64, 173)
+	for i := range planes {
+		planes[i] = rng.Uint64() & rng.Uint64()
+	}
+	var counts [64]int32
+	LanePopcounts(planes, &counts)
+	var buf []int32
+	for lane := 0; lane < 64; lane++ {
+		buf = GatherLane(planes, lane, buf[:0])
+		if int32(len(buf)) != counts[lane] {
+			t.Fatalf("lane %d: popcount %d != gathered %d", lane, counts[lane], len(buf))
+		}
+		for i := 1; i < len(buf); i++ {
+			if buf[i-1] >= buf[i] {
+				t.Fatalf("lane %d: gathered indices not strictly increasing", lane)
+			}
+		}
+	}
+}
+
+func TestScatterGatherRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	planes := make([]uint64, 97)
+	for trial := 0; trial < 50; trial++ {
+		lane := rng.IntN(64)
+		var idx []int32
+		for i := range planes {
+			if rng.IntN(4) == 0 {
+				idx = append(idx, int32(i))
+			}
+		}
+		ClearLane(planes, lane)
+		ScatterLane(planes, lane, idx)
+		got := GatherLane(planes, lane, nil)
+		if len(got) != len(idx) {
+			t.Fatalf("round trip length %d != %d", len(got), len(idx))
+		}
+		for i := range got {
+			if got[i] != idx[i] {
+				t.Fatalf("round trip diverges at %d: %d != %d", i, got[i], idx[i])
+			}
+		}
+	}
+}
+
+func FuzzTranspose64(f *testing.F) {
+	f.Add(make([]byte, 512), uint8(0))
+	f.Fuzz(func(t *testing.T, data []byte, _ uint8) {
+		var m [64]uint64
+		for i := 0; i+8 <= len(data) && i/8 < 64; i += 8 {
+			m[i/8] = binary.LittleEndian.Uint64(data[i:])
+		}
+		got := m
+		Transpose64(&got)
+		if want := transposeRef(m); got != want {
+			t.Fatal("transpose diverges from reference")
+		}
+		Transpose64(&got)
+		if got != m {
+			t.Fatal("double transpose is not the identity")
+		}
+	})
+}
+
+// FuzzLaneGatherScatter round-trips one lane of a fuzzer-chosen plane array
+// through gather → clear → scatter and checks the planes are restored
+// bit-for-bit, and that the per-lane popcount reduction agrees with the
+// gathered list length.
+func FuzzLaneGatherScatter(f *testing.F) {
+	f.Add([]byte{0xff, 0x00, 0x12}, uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, laneByte uint8) {
+		n := len(data) / 8
+		if n == 0 {
+			return
+		}
+		planes := make([]uint64, n)
+		for i := range planes {
+			planes[i] = binary.LittleEndian.Uint64(data[8*i:])
+		}
+		lane := int(laneByte) & 63
+		ref := append([]uint64(nil), planes...)
+
+		idx := GatherLane(planes, lane, nil)
+		var counts [64]int32
+		LanePopcounts(planes, &counts)
+		if counts[lane] != int32(len(idx)) {
+			t.Fatalf("popcount %d != gathered %d", counts[lane], len(idx))
+		}
+		ClearLane(planes, lane)
+		if again := GatherLane(planes, lane, nil); len(again) != 0 {
+			t.Fatal("lane not empty after ClearLane")
+		}
+		ScatterLane(planes, lane, idx)
+		for i := range planes {
+			if planes[i] != ref[i] {
+				t.Fatalf("word %d not restored: %#x != %#x", i, planes[i], ref[i])
+			}
+		}
+	})
+}
+
+func BenchmarkTranspose64(b *testing.B) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	m := randomMatrix(rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Transpose64(&m)
+	}
+	if bits.OnesCount64(m[0]) == 65 { // defeat dead-code elimination
+		b.Fatal("impossible")
+	}
+}
