@@ -39,7 +39,7 @@
 //
 // Usage:
 //
-//	afs-bench [-out BENCH_6.json] [-trials N] [-workers W] [-quick]
+//	afs-bench [-out BENCH_7.json] [-trials N] [-workers W] [-quick]
 //	          [-ref-tps T] [-ref-label L] [-metrics addr] [-trace file]
 //	          [-cpuprofile file] [-memprofile file]
 //
@@ -102,12 +102,21 @@ type report struct {
 		// weight-class fast paths vs the same kernel decoding every trial
 		// in full.
 		TriageSpeedup float64 `json:"triage_speedup"`
-		// Per-class fractions of all trials (they sum to 1 with FullFrac).
-		W0Frac    float64 `json:"triage_w0_frac"`
-		W1Frac    float64 `json:"triage_w1_frac"`
-		W2Frac    float64 `json:"triage_w2_frac"`
-		MultiFrac float64 `json:"triage_multi_frac"`
-		FullFrac  float64 `json:"full_decode_frac"`
+		// Per-class fractions of all trials. Since BENCH_7, FullFrac counts
+		// only decodes of the whole, undecomposed syndrome: the partial-
+		// residual peel (core.Triage.PeelResidual) strips certified
+		// components off punted syndromes first, and decoder runs on the
+		// strictly smaller remainder are ResidualFrac. FullRunsFrac keeps
+		// the pre-BENCH_7 semantics (every full-decoder invocation —
+		// whole + residual) for cross-version diffs.
+		// w0+w1+w2+multi+full+residual sums to 1.
+		W0Frac       float64 `json:"triage_w0_frac"`
+		W1Frac       float64 `json:"triage_w1_frac"`
+		W2Frac       float64 `json:"triage_w2_frac"`
+		MultiFrac    float64 `json:"triage_multi_frac"`
+		FullFrac     float64 `json:"full_decode_frac"`
+		ResidualFrac float64 `json:"residual_decode_frac"`
+		FullRunsFrac float64 `json:"full_decoder_runs_frac"`
 		// Bench4MicroNS is BENCH_4.json's micro design-point ns/op (the
 		// scalar Sample+Decode pipeline this PR set out to beat), and
 		// SpeedupVsBench4 the single-thread trials/sec ratio against it.
@@ -132,17 +141,41 @@ type report struct {
 		// vs gathered into the scalar triage/decoder path (sum to 1).
 		FastFrac     float64 `json:"bitplane_fast_frac"`
 		GatheredFrac float64 `json:"bitplane_gathered_frac"`
-		// Triage-class fractions of executed trials (sum to 1 with the
-		// batch section's same invariant).
-		W0Frac    float64 `json:"triage_w0_frac"`
-		W1Frac    float64 `json:"triage_w1_frac"`
-		W2Frac    float64 `json:"triage_w2_frac"`
-		MultiFrac float64 `json:"triage_multi_frac"`
-		FullFrac  float64 `json:"full_decode_frac"`
+		// Triage-class fractions of executed trials, split exactly like the
+		// batch section's (FullFrac = whole undecomposed decodes only,
+		// ResidualFrac = decoder runs on a peeled residual, FullRunsFrac =
+		// their sum, the pre-BENCH_7 full_decode_frac semantics).
+		W0Frac       float64 `json:"triage_w0_frac"`
+		W1Frac       float64 `json:"triage_w1_frac"`
+		W2Frac       float64 `json:"triage_w2_frac"`
+		MultiFrac    float64 `json:"triage_multi_frac"`
+		FullFrac     float64 `json:"full_decode_frac"`
+		ResidualFrac float64 `json:"residual_decode_frac"`
+		FullRunsFrac float64 `json:"full_decoder_runs_frac"`
+
+		// Partial-residual peel outcomes over the measured run: punted
+		// trials the peel resolved outright, components peeled, and the
+		// defect-count histogram of decoded residuals (<=2, <=4, <=8,
+		// <=16, >16 defects).
+		PeelResolvedFrac float64   `json:"peel_resolved_frac"`
+		PeeledComponents uint64    `json:"peeled_components"`
+		ResidualHist     [5]uint64 `json:"residual_defects_hist"`
 
 		SpeedupVsBatch  float64 `json:"speedup_vs_batch_same_run"`
 		Bench5BatchNS   float64 `json:"bench5_batch_ns_per_trial"`
 		SpeedupVsBench5 float64 `json:"speedup_vs_bench5_batch"`
+
+		// Same-run peel ablation: the identical kernel with DisablePeel
+		// (the BENCH_6 routing — punted lanes decode whole), interleaved
+		// with the peeled kernel in alternating slices so machine drift
+		// cancels in the ratio. PeelNS/NoPeelNS are the interleaved
+		// measurements; Bench6BitPlaneNS is BENCH_6's recorded ns/trial
+		// for the cross-version trajectory.
+		PeelNS           float64 `json:"peel_ns_per_trial_same_run"`
+		NoPeelNS         float64 `json:"nopeel_ns_per_trial_same_run"`
+		PeelSpeedup      float64 `json:"peel_speedup_same_run"`
+		Bench6BitPlaneNS float64 `json:"bench6_bitplane_ns_per_trial"`
+		SpeedupVsBench6  float64 `json:"speedup_vs_bench6_bitplane"`
 	} `json:"bitplane"`
 
 	Macro struct {
@@ -254,7 +287,7 @@ type reference struct {
 
 func main() {
 	var (
-		out      = flag.String("out", "BENCH_6.json", "output report path (\"-\" for stdout only)")
+		out      = flag.String("out", "BENCH_7.json", "output report path (\"-\" for stdout only)")
 		trialsN  = flag.Uint64("trials", 20000, "Monte-Carlo trials per sweep point")
 		workers  = flag.Int("workers", 0, "worker goroutines (0 = all CPUs)")
 		quick    = flag.Bool("quick", false, "shrink budgets ~10x for a smoke run")
@@ -303,7 +336,7 @@ func main() {
 	}
 
 	var r report
-	r.BenchVersion = 6
+	r.BenchVersion = 7
 	r.GeneratedBy = "cmd/afs-bench"
 	r.GoVersion = runtime.Version()
 	r.GOMAXPROCS = runtime.GOMAXPROCS(0)
@@ -552,16 +585,18 @@ func benchBatch(r *report, quick bool) {
 	r.Batch.TrialsPerS = n / secs
 	r.Batch.UntriagedNS = usecs * 1e9 / n
 	r.Batch.TriageSpeedup = r.Batch.UntriagedNS / r.Batch.NSPerTrial
-	r.Batch.W0Frac, r.Batch.W1Frac, r.Batch.W2Frac, r.Batch.MultiFrac, r.Batch.FullFrac = res.TriageFractions()
+	r.Batch.W0Frac, r.Batch.W1Frac, r.Batch.W2Frac, r.Batch.MultiFrac, r.Batch.FullRunsFrac = res.TriageFractions()
+	_, r.Batch.ResidualFrac = res.PeelFractions()
+	r.Batch.FullFrac = r.Batch.FullRunsFrac - r.Batch.ResidualFrac
 	r.Batch.Bench4MicroNS = bench4MicroNS
 	r.Batch.SpeedupVsBench4 = bench4MicroNS / r.Batch.NSPerTrial
 
 	fmt.Printf("\n== batch kernel: fused sample+triage+decode, d=%d p=%g, workers=1 ==\n", d, p)
 	fmt.Printf("triaged:   %6.0f ns/trial (%.2fM trials/sec)\n", r.Batch.NSPerTrial, r.Batch.TrialsPerS/1e6)
 	fmt.Printf("untriaged: %6.0f ns/trial, triage speedup %.2fx\n", r.Batch.UntriagedNS, r.Batch.TriageSpeedup)
-	fmt.Printf("classes: w0 %.1f%%, w1 %.1f%%, w2 %.1f%%, multi %.1f%%, full %.1f%%\n",
+	fmt.Printf("classes: w0 %.1f%%, w1 %.1f%%, w2 %.1f%%, multi %.1f%%, full %.2f%% whole + %.2f%% residual\n",
 		100*r.Batch.W0Frac, 100*r.Batch.W1Frac, 100*r.Batch.W2Frac,
-		100*r.Batch.MultiFrac, 100*r.Batch.FullFrac)
+		100*r.Batch.MultiFrac, 100*r.Batch.FullFrac, 100*r.Batch.ResidualFrac)
 	fmt.Printf("vs BENCH_4 micro (%.0f ns/op): %.2fx single-thread\n",
 		r.Batch.Bench4MicroNS, r.Batch.SpeedupVsBench4)
 }
@@ -570,6 +605,10 @@ func benchBatch(r *report, quick bool) {
 // point (d=11, p=1e-3, single thread) — the number the bit-plane kernel
 // set out to beat.
 const bench5BatchNS = 514.58
+
+// bench6BitPlaneNS is BENCH_6.json's bit-plane kernel ns/trial at the
+// design point — the number the partial-residual peel is measured against.
+const bench6BitPlaneNS = 292.38
 
 // benchBitPlane times the bit-plane SWAR kernel at the design point,
 // single-threaded, immediately after benchBatch so the same-run speedup
@@ -601,20 +640,55 @@ func benchBitPlane(r *report, quick bool) {
 	r.BitPlane.NSPerTrial = secs * 1e9 / n
 	r.BitPlane.TrialsPerS = n / secs
 	r.BitPlane.FastFrac, r.BitPlane.GatheredFrac = res.BitPlaneFractions()
-	r.BitPlane.W0Frac, r.BitPlane.W1Frac, r.BitPlane.W2Frac, r.BitPlane.MultiFrac, r.BitPlane.FullFrac = res.TriageFractions()
+	r.BitPlane.W0Frac, r.BitPlane.W1Frac, r.BitPlane.W2Frac, r.BitPlane.MultiFrac, r.BitPlane.FullRunsFrac = res.TriageFractions()
+	r.BitPlane.PeelResolvedFrac, r.BitPlane.ResidualFrac = res.PeelFractions()
+	r.BitPlane.FullFrac = r.BitPlane.FullRunsFrac - r.BitPlane.ResidualFrac
+	r.BitPlane.PeeledComponents = res.PeeledComponents
+	r.BitPlane.ResidualHist = res.ResidualDefects
 	r.BitPlane.SpeedupVsBatch = r.Batch.NSPerTrial / r.BitPlane.NSPerTrial
 	r.BitPlane.Bench5BatchNS = bench5BatchNS
 	r.BitPlane.SpeedupVsBench5 = bench5BatchNS / r.BitPlane.NSPerTrial
+
+	// Same-run peel ablation, interleaved in alternating slices: machine-
+	// wide drift (thermal, noisy neighbors) moves on multi-millisecond
+	// scales, so slices of a few hundred ms make a burst straddle both
+	// sides of an A/B pair and cancel in the ratio.
+	const reps = 8
+	per := res.Trials / reps
+	pcfg := cfg
+	pcfg.Trials = per
+	ncfg := pcfg
+	ncfg.DisablePeel = true
+	montecarlo.RunAccuracy(ncfg) // warm the ablated side too
+	var peelSecs, noPeelSecs float64
+	for i := 0; i < reps; i++ {
+		t0 = time.Now()
+		montecarlo.RunAccuracy(pcfg)
+		peelSecs += time.Since(t0).Seconds()
+		t0 = time.Now()
+		montecarlo.RunAccuracy(ncfg)
+		noPeelSecs += time.Since(t0).Seconds()
+	}
+	r.BitPlane.PeelNS = peelSecs * 1e9 / float64(per*reps)
+	r.BitPlane.NoPeelNS = noPeelSecs * 1e9 / float64(per*reps)
+	r.BitPlane.PeelSpeedup = r.BitPlane.NoPeelNS / r.BitPlane.PeelNS
+	r.BitPlane.Bench6BitPlaneNS = bench6BitPlaneNS
+	r.BitPlane.SpeedupVsBench6 = bench6BitPlaneNS / r.BitPlane.NSPerTrial
 
 	fmt.Printf("\n== bit-plane kernel: 64-lane SWAR sample+triage+decode, d=%d p=%g, workers=1 ==\n", d, p)
 	fmt.Printf("bit-plane: %6.0f ns/trial (%.2fM trials/sec)\n", r.BitPlane.NSPerTrial, r.BitPlane.TrialsPerS/1e6)
 	fmt.Printf("lanes: fast %.1f%%, gathered %.1f%%\n",
 		100*r.BitPlane.FastFrac, 100*r.BitPlane.GatheredFrac)
-	fmt.Printf("classes: w0 %.1f%%, w1 %.1f%%, w2 %.1f%%, multi %.1f%%, full %.1f%%\n",
+	fmt.Printf("classes: w0 %.1f%%, w1 %.1f%%, w2 %.1f%%, multi %.1f%%, full %.3f%% whole + %.3f%% residual\n",
 		100*r.BitPlane.W0Frac, 100*r.BitPlane.W1Frac, 100*r.BitPlane.W2Frac,
-		100*r.BitPlane.MultiFrac, 100*r.BitPlane.FullFrac)
-	fmt.Printf("vs batch kernel same run (%.0f ns/trial): %.2fx; vs BENCH_5 batch (%.0f ns/trial): %.2fx\n",
-		r.Batch.NSPerTrial, r.BitPlane.SpeedupVsBatch, bench5BatchNS, r.BitPlane.SpeedupVsBench5)
+		100*r.BitPlane.MultiFrac, 100*r.BitPlane.FullFrac, 100*r.BitPlane.ResidualFrac)
+	fmt.Printf("peel: %d components, resolved %.4f%% of trials, residual hist <=2/<=4/<=8/<=16/>16 = %v\n",
+		r.BitPlane.PeeledComponents, 100*r.BitPlane.PeelResolvedFrac, r.BitPlane.ResidualHist)
+	fmt.Printf("peel ablation same run: %6.0f ns/trial peeled vs %6.0f unpeeled (%.3fx)\n",
+		r.BitPlane.PeelNS, r.BitPlane.NoPeelNS, r.BitPlane.PeelSpeedup)
+	fmt.Printf("vs batch kernel same run (%.0f ns/trial): %.2fx; vs BENCH_5 batch (%.0f ns/trial): %.2fx; vs BENCH_6 bit-plane (%.0f ns/trial): %.2fx\n",
+		r.Batch.NSPerTrial, r.BitPlane.SpeedupVsBatch, bench5BatchNS, r.BitPlane.SpeedupVsBench5,
+		bench6BitPlaneNS, r.BitPlane.SpeedupVsBench6)
 }
 
 // benchStream measures the streaming layer at the paper's design point.

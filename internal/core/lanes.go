@@ -32,12 +32,13 @@ import (
 //     graph is a perfect matching plus ONE 4-defect path (the signature
 //     of two faults landing edge-adjacent, the dominant conflicted shape
 //     at deployment error rates). Parity 0 (see below).
-//   - SinglesOK: the lane decomposes into adjacent pairs plus one or more
-//     isolated boundary singles, each provably independent (every single
-//     sits at fault distance 1 from a strict-side boundary, has no other
-//     defect within L1 distance 2, and any two singles in the lane are at
-//     L1 distance >= 4). Parity is SingleParity's bit — the XOR of the
-//     singles' north-side bits; the pairs contribute parity 0.
+//   - SinglesOK: the lane decomposes into adjacent pairs plus certified
+//     isolated defects — strict-side boundary singles at fault distance
+//     B <= 2, and interior duos (two isolated defects at L1 distance 2,
+//     each the other's unique such partner, both at B >= 2) — with every
+//     isolation certificate checked against the ring tables. Parity is
+//     SingleParity's bit — the XOR of the certified singles' north-side
+//     bits; pairs and duos contribute parity 0.
 //   - Everything else (conflicted adjacency, deep or crowded singles,
 //     W2 pairs in the punt band, W1 ties) — gathered into index lists and
 //     routed through the scalar Triage / full-decoder path.
@@ -78,19 +79,43 @@ import (
 // so (as with Matched) lanes beyond maxTriageDefects resolve here even
 // though the scalar walk would punt them.
 //
-// Soundness of the SinglesOK rule. A qualifying single is an isolated W1
-// group of influence radius B = 1 in classifyMulti's decomposition:
-// parity = its side bit, and the sparse isolation invariant
-// L1(i,j) > R(i)+R(j)+1 holds against every other group — against a pair
-// member (radius 0) it needs L1 > 2, guaranteed by the empty distance-<=2
-// neighborhood; against another single (radius 1) it needs L1 > 3,
-// guaranteed by the pairwise distance >= 4 check. An empty distance-2
-// ring also means the single has no distance-2 duo candidate, so the
-// scalar decomposition would classify it as a single too. Pair-vs-pair
-// isolation (L1 > 1) is again automatic from degree-1 adjacency. Singles
-// deeper than B == 1 are excluded: their independence radius exceeds what
-// the distance-2 ring can certify, so those lanes punt to the scalar
-// path (which re-derives the full invariant from coordinates).
+// Soundness of the SinglesOK rule. Every isolated defect in a qualifying
+// lane is certified as one of classifyMulti's closed-form groups, with the
+// sparse isolation invariant L1(i,j) > R(i)+R(j)+1 checked per certificate:
+//
+//   - Boundary single at B <= 2 on a strict side: influence radius B,
+//     parity = its side bit. Against pair members (radius 0) it needs
+//     L1 > B+1, established by an empty non-isolated distance-2 ring (and,
+//     for B == 2, distance-3 ring); against other isolated defects the
+//     exact pairwise check below applies. A single must also have NO
+//     isolated defect at distance 2 — that would be a duo candidate, and
+//     the scalar decomposition would never classify it a lone single.
+//
+//   - Interior duo: two isolated defects at L1 distance exactly 2, each
+//     the other's UNIQUE distance-2 isolated partner in that lane (the
+//     ring-2 hit counter saturates at two), both at B >= 2 — exactly
+//     classifyMulti's D == 2 duo rule (merge at round 2 beats any boundary
+//     resolution since 2 < 2*min(B); radius 1, parity 0). Against pair
+//     members a duo member needs L1 > 2, again from the empty non-isolated
+//     distance-2 ring. A distance-2 isolated pair that fails the duo
+//     certificate (a second candidate, or a B < 2 member) marks both
+//     members bad — the scalar walk punts those whole, so the lane must
+//     too.
+//
+//   - Pairwise across isolated defects, the conservative bound R = B is
+//     used: any two isolated defects at L1 <= B(i)+B(j)+1 (other than a
+//     certified duo pair) mark both bad. For singles this is the exact
+//     scalar invariant; for duo members (true radius 1) it punts slightly
+//     more than the scalar walk accepts, which is sound — bad defects
+//     route the lane to the scalar path.
+//
+// Pair-vs-pair isolation (L1 > 1) is automatic from degree-1 adjacency.
+// Singles deeper than B == 2 are excluded: their independence radius
+// exceeds what the distance-3 ring can certify, so those lanes punt to
+// the scalar path (which re-derives the full invariant from coordinates).
+// Every certificate here is strictly contained in what the scalar
+// decomposition accepts, so resolved lanes agree with it bit for bit
+// (test-enforced).
 type LaneTriage struct {
 	g    *lattice.Graph
 	bd   *lut.Boundary
@@ -111,6 +136,10 @@ type LaneTriage struct {
 	// distance exactly 2 (up to 18), consulted only for isolated defects.
 	ring2    []int32
 	ring2Off []int32
+	// ring3/ring3Off: the vertices at L1 distance exactly 3 (up to 38),
+	// consulted only for B == 2 single certificates.
+	ring3    []int32
+	ring3Off []int32
 	// northBits/tieBits are per-vertex side bitmaps (bit v of word v>>6),
 	// the branchless form of the side-switch on the hot path.
 	northBits []uint64
@@ -118,11 +147,21 @@ type LaneTriage struct {
 
 	// Per-Classify scratch: isolated-defect positions and lane masks for
 	// the singles post-pass, and the degree-2 analog for the 4-path
-	// post-pass.
+	// post-pass. Preallocated by NewLaneTriage and truncated (never
+	// reallocated) between calls so heavy batches see no regrowth churn.
 	isoV []int32
 	isoM []uint64
 	d2V  []int32
 	d2M  []uint64
+	// isoPlane[v] = lanes in which v holds an ISOLATED defect, populated
+	// over the touched isolated vertices for the post-pass (so ring scans
+	// can split hits into isolated vs matched) and re-zeroed before
+	// returning. sOK/duoC/duoP are per-iso-entry lane masks: certified
+	// single, duo candidate, and certified duo member.
+	isoPlane []uint64
+	sOK      []uint64
+	duoC     []uint64
+	duoP     []uint64
 
 	// DefV/DefW are the compact defect list of the most recent Classify
 	// call: the touched vertices with a nonzero plane word, in increasing
@@ -147,15 +186,17 @@ type LaneClasses struct {
 	// doc). Parity 0. Disjoint from Matched (it requires two degree-2
 	// defects) and from SinglesOK (no isolated defects allowed).
 	Chain4 uint64
-	// SinglesOK: adjacent pairs plus >= 1 provably independent boundary
-	// singles (see the type doc); parity = SingleParity. Disjoint from
-	// Matched (it requires at least one isolated defect).
+	// SinglesOK: adjacent pairs plus >= 1 certified isolated defects —
+	// B <= 2 boundary singles and distance-2 interior duos (see the type
+	// doc); parity = SingleParity. Disjoint from Matched (it requires at
+	// least one isolated defect).
 	SinglesOK uint64
 	// NorthParity bit t = XOR over lane t's defects of "strictly nearest
 	// boundary is north". For W1 lanes this is the closed-form parity.
 	NorthParity uint64
-	// SingleParity bit t = XOR over lane t's qualifying singles of their
-	// north-side bits; meaningful only on SinglesOK lanes (masked so).
+	// SingleParity bit t = XOR over lane t's certified singles of their
+	// north-side bits (duos contribute 0); meaningful only on SinglesOK
+	// lanes (masked so).
 	SingleParity uint64
 	// TieAny bit t = lane t contains a defect on a SideTie vertex. W1
 	// lanes in TieAny must punt (closed 3-D accuracy graphs never tie;
@@ -177,6 +218,7 @@ func NewLaneTriage(g *lattice.Graph) *LaneTriage {
 	lt.nbr6 = make([]int32, 6*g.V)
 	lt.interior = make([]uint64, words)
 	lt.ring2Off = make([]int32, g.V+1)
+	lt.ring3Off = make([]int32, g.V+1)
 	d := g.Distance
 	lt.sr = int32(d)
 	lt.st = int32(d * (d - 1))
@@ -220,20 +262,40 @@ func NewLaneTriage(g *lattice.Graph) *LaneTriage {
 		for ; n < 6; n++ {
 			lt.nbr6[6*int(v)+n] = int32(g.V) // always-zero sentinel plane
 		}
-		for dr := -2; dr <= 2; dr++ {
-			for dc := -2; dc <= 2; dc++ {
-				for dt := -2; dt <= 2; dt++ {
-					if abs32i(dr)+abs32i(dc)+abs32i(dt) != 2 {
+		for dr := -3; dr <= 3; dr++ {
+			for dc := -3; dc <= 3; dc++ {
+				for dt := -3; dt <= 3; dt++ {
+					if !inBounds(r+dr, c+dc, t+dt) {
 						continue
 					}
-					if inBounds(r+dr, c+dc, t+dt) {
+					switch abs32i(dr) + abs32i(dc) + abs32i(dt) {
+					case 2:
 						lt.ring2 = append(lt.ring2, g.VertexID(r+dr, c+dc, t+dt))
+					case 3:
+						lt.ring3 = append(lt.ring3, g.VertexID(r+dr, c+dc, t+dt))
 					}
 				}
 			}
 		}
 		lt.ring2Off[v+1] = int32(len(lt.ring2))
+		lt.ring3Off[v+1] = int32(len(lt.ring3))
 	}
+	// Preallocate the per-Classify scratch so steady-state calls never
+	// grow a slice: the iso/d2/defect lists are bounded by the touched
+	// vertex count, for which 1/4 of the lattice is far beyond any
+	// realistic batch; truncation keeps whatever larger capacity an
+	// outlier forced.
+	pre := g.V/4 + 16
+	lt.isoV = make([]int32, 0, pre)
+	lt.isoM = make([]uint64, 0, pre)
+	lt.d2V = make([]int32, 0, pre)
+	lt.d2M = make([]uint64, 0, pre)
+	lt.DefV = make([]int32, 0, pre)
+	lt.DefW = make([]uint64, 0, pre)
+	lt.sOK = make([]uint64, 0, pre)
+	lt.duoC = make([]uint64, 0, pre)
+	lt.duoP = make([]uint64, 0, pre)
+	lt.isoPlane = make([]uint64, g.V+1)
 	return lt
 }
 
@@ -392,40 +454,89 @@ func (lt *LaneTriage) Classify(planes []uint64, touched []uint64, laneMask uint6
 	if isoAny&^conflict == 0 {
 		return cls
 	}
-	// Singles post-pass: certify each isolated defect as an independent
-	// B == 1 boundary single and accumulate the lanes' single parities.
-	var badS, singleNorth uint64
-	for i, v := range lt.isoV {
-		m := lt.isoM[i]
-		if lt.bd.Dist[v] != 1 || lt.side[v] == lut.SideTie {
-			badS |= m
-			continue
-		}
-		if lt.side[v] == lut.SideNorth {
-			singleNorth ^= m
-		}
-		for _, u := range lt.ring2[lt.ring2Off[v]:lt.ring2Off[v+1]] {
-			badS |= m & planes[u]
-		}
+	// Isolated-defect post-pass: certify each isolated defect as a B <= 2
+	// strict-side single or a distance-2 interior duo member (see the type
+	// doc). isoPlane lets the ring scans split hits into isolated defects
+	// (potential duo partners / pairwise-checked peers) and matched ones
+	// (hard radius obstructions).
+	iso := lt.isoV
+	lt.sOK, lt.duoC, lt.duoP = lt.sOK[:0], lt.duoC[:0], lt.duoP[:0]
+	for i, v := range iso {
+		lt.isoPlane[v] = lt.isoM[i]
 	}
-	// Pairwise isolation between singles sharing a lane: radius-1 groups
-	// need L1 > 3.
-	for i := 1; i < len(lt.isoV); i++ {
+	for i, v := range iso {
+		m := lt.isoM[i]
+		bv := int32(lt.g.PackedCoords(v) >> 48)
+		// h1/h2: lanes with >= 1 / >= 2 isolated ring-2 hits; ni2: lanes
+		// with a matched (non-isolated) defect at distance 2.
+		var h1, h2, ni2 uint64
+		for _, u := range lt.ring2[lt.ring2Off[v]:lt.ring2Off[v+1]] {
+			hit := m & lt.isoPlane[u]
+			h2 |= h1 & hit
+			h1 |= hit
+			ni2 |= m & (planes[u] &^ lt.isoPlane[u])
+		}
+		var sOK, duoC uint64
+		if lt.side[v] != lut.SideTie {
+			if bv >= 2 {
+				duoC = m & h1 &^ h2 &^ ni2
+			}
+			if bv <= 2 {
+				sOK = m &^ h1 &^ ni2
+				if bv == 2 && sOK != 0 {
+					// Radius-2 single vs pair members: L1 > 3.
+					var ni3 uint64
+					for _, u := range lt.ring3[lt.ring3Off[v]:lt.ring3Off[v+1]] {
+						ni3 |= planes[u] &^ lt.isoPlane[u]
+					}
+					sOK &^= ni3 & m
+				}
+			}
+		}
+		lt.sOK = append(lt.sOK, sOK)
+		lt.duoC = append(lt.duoC, duoC)
+		lt.duoP = append(lt.duoP, 0)
+	}
+	// Pairwise pass over isolated defects sharing a lane: distance-2
+	// candidate pairs either certify as a duo (both sides unique, B >= 2)
+	// or kill both; anything else within the conservative R = B invariant
+	// slack kills both.
+	for i := 1; i < len(iso); i++ {
 		mi := lt.isoM[i]
-		pi := lt.g.PackedCoords(lt.isoV[i])
+		pi := lt.g.PackedCoords(iso[i])
+		bi := int32(pi >> 48)
 		for j := 0; j < i; j++ {
 			both := mi & lt.isoM[j]
 			if both == 0 {
 				continue
 			}
-			pj := lt.g.PackedCoords(lt.isoV[j])
+			pj := lt.g.PackedCoords(iso[j])
 			d := abs32(int32(pi&0xffff)-int32(pj&0xffff)) +
 				abs32(int32(pi>>16&0xffff)-int32(pj>>16&0xffff)) +
 				abs32(int32(pi>>32&0xffff)-int32(pj>>32&0xffff))
-			if d <= 3 {
-				badS |= both
+			if d == 2 {
+				duo := both & lt.duoC[i] & lt.duoC[j]
+				lt.duoP[i] |= duo
+				lt.duoP[j] |= duo
+			} else if d <= bi+int32(pj>>48)+1 {
+				lt.sOK[i] &^= both
+				lt.sOK[j] &^= both
+				lt.duoC[i] &^= both
+				lt.duoC[j] &^= both
+				lt.duoP[i] &^= both
+				lt.duoP[j] &^= both
 			}
 		}
+	}
+	// A lane qualifies iff every isolated defect in it certified; the
+	// certified singles' north bits form the lane parity (duos are 0).
+	var badS, singleNorth uint64
+	for i, v := range iso {
+		badS |= lt.isoM[i] &^ (lt.sOK[i] | lt.duoP[i])
+		if lt.side[v] == lut.SideNorth {
+			singleNorth ^= lt.sOK[i]
+		}
+		lt.isoPlane[v] = 0
 	}
 	cls.SinglesOK = (s0 | sOv) &^ conflict &^ badS & laneMask
 	cls.SingleParity = singleNorth & cls.SinglesOK

@@ -67,41 +67,76 @@ func refClassify(g *lattice.Graph, bd *lut.Boundary, defs []int32) laneRef {
 		ref.chain4 = g.GraphDistance(defs[d2idx[0]], defs[d2idx[1]]) == 1
 	}
 	// singlesOK: no defect with two adjacent partners, at least one
-	// isolated defect, and every isolated defect certified independent —
-	// fault distance 1 from a strict-side boundary, no other defect within
-	// L1 distance 2, singles pairwise at L1 distance >= 4.
-	hasSingle, ok := false, true
-	for i, u := range defs {
-		if deg[i] >= 2 {
-			ok = false
-			break
+	// isolated defect, and every isolated defect certified — a strict-side
+	// B <= 2 boundary single (no isolated defect at distance 2, no matched
+	// defect within distance B+1) or a member of a certified distance-2
+	// interior duo (unique mutual isolated partner, both B >= 2, no
+	// matched defect within distance 2). This is a direct scalar
+	// transcription of LaneTriage's isolated-defect post-pass, including
+	// its pass order (candidate classification, then the pairwise
+	// duo/kill sweep in ascending-index order).
+	noDeg2 := true
+	var iso []int
+	for i, d := range deg {
+		if d >= 2 {
+			noDeg2 = false
 		}
-		if deg[i] != 0 {
+		if d == 0 {
+			iso = append(iso, i)
+		}
+	}
+	single := make([]bool, len(iso))
+	duoCand := make([]bool, len(iso))
+	duoPaired := make([]bool, len(iso))
+	for a, i := range iso {
+		u := defs[i]
+		if bd.Side[u] == lut.SideTie {
 			continue
 		}
-		hasSingle = true
-		if bd.Dist[u] != 1 || bd.Side[u] == lut.SideTie {
-			ok = false
-			break
-		}
+		b := int(bd.Dist[u])
+		isoHits, matched2, matched3 := 0, false, false
 		for j, v := range defs {
-			if i == j {
+			if j == i {
 				continue
 			}
-			d := g.GraphDistance(u, v)
-			if d <= 2 || (deg[j] == 0 && d <= 3) {
-				ok = false
-				break
+			switch d := g.GraphDistance(u, v); {
+			case d == 2 && deg[j] == 0:
+				isoHits++
+			case d == 2:
+				matched2 = true
+			case d == 3 && deg[j] != 0:
+				matched3 = true
 			}
 		}
-		if !ok {
-			break
+		duoCand[a] = b >= 2 && isoHits == 1 && !matched2
+		single[a] = b <= 2 && isoHits == 0 && !matched2 && !(b == 2 && matched3)
+	}
+	for a := 1; a < len(iso); a++ {
+		u := defs[iso[a]]
+		for b := 0; b < a; b++ {
+			v := defs[iso[b]]
+			switch d := g.GraphDistance(u, v); {
+			case d == 2:
+				if duoCand[a] && duoCand[b] {
+					duoPaired[a], duoPaired[b] = true, true
+				}
+			case d <= int(bd.Dist[u])+int(bd.Dist[v])+1:
+				single[a], single[b] = false, false
+				duoCand[a], duoCand[b] = false, false
+				duoPaired[a], duoPaired[b] = false, false
+			}
 		}
-		if bd.Side[u] == lut.SideNorth {
+	}
+	ok := noDeg2 && len(iso) > 0
+	for a, i := range iso {
+		if !single[a] && !duoPaired[a] {
+			ok = false
+		}
+		if single[a] && bd.Side[defs[i]] == lut.SideNorth {
 			ref.singleNorth = !ref.singleNorth
 		}
 	}
-	ref.singlesOK = ok && hasSingle
+	ref.singlesOK = ok
 	if !ref.singlesOK {
 		ref.singleNorth = false
 	}
@@ -311,6 +346,31 @@ func checkClasses(t *testing.T, g *lattice.Graph, bd *lut.Boundary, lt *LaneTria
 		if lt.DefW[i] != planes[v] || planes[v] == 0 {
 			t.Fatalf("DefW[%d] = %x, want nonzero %x", i, lt.DefW[i], planes[v])
 		}
+	}
+}
+
+// Steady-state lane classification must not allocate: every scratch slice
+// — the d2 capture, the defect gather list, and the iso post-pass state
+// (isoPlane, sOK/duoC/duoP) — is preallocated in NewLaneTriage or retained
+// at its high-water mark across Classify calls.
+func TestLaneClassifyZeroAllocSteadyState(t *testing.T) {
+	g := lattice.New3D(7, 7)
+	lt := NewLaneTriage(g)
+	rng := rand.New(rand.NewPCG(21, 7))
+	const groups = 8
+	planes := make([][]uint64, groups)
+	touched := make([][]uint64, groups)
+	for i := range planes {
+		planes[i], touched[i] = buildPlanes(g, randomLanes(g, rng), nil)
+		lt.Classify(planes[i], touched[i], ^uint64(0)) // reach the high-water mark
+	}
+	i := 0
+	avg := testing.AllocsPerRun(50, func() {
+		lt.Classify(planes[i%groups], touched[i%groups], ^uint64(0))
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("LaneTriage.Classify allocates %.1f times per call in steady state", avg)
 	}
 }
 

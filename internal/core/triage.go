@@ -100,6 +100,7 @@ type Triage struct {
 	g    *lattice.Graph
 	bd   *lut.Boundary
 	corr []int32
+	res  []int32 // residual defect set reused across PeelResidual calls
 	ms   multiScratch
 }
 
@@ -114,9 +115,11 @@ const maxTriageDefects = 32
 type multiScratch struct {
 	r, c, t [maxTriageDefects]int32
 	rad     [maxTriageDefects]int32
-	grp     [maxTriageDefects]int8 // group id (smallest member index)
-	deg     [maxTriageDefects]int8 // distance-1 adjacency degree
-	cnt     [maxTriageDefects]int8 // members per group id
+	bnd     [maxTriageDefects]int32 // boundary distance B (PeelResidual)
+	grp     [maxTriageDefects]int8  // group id (smallest member index)
+	deg     [maxTriageDefects]int8  // distance-1 adjacency degree
+	cnt     [maxTriageDefects]int8  // members per group id
+	st      [maxTriageDefects]uint8 // peel state (PeelResidual)
 	d       [maxTriageDefects][maxTriageDefects]int32
 	// Sparse pair lists filled by the pairwise pass so the merge and
 	// duo-candidate passes touch only the pairs that matter instead of
@@ -162,7 +165,7 @@ func (c TriageClass) String() string {
 // NewTriage builds a triage layer for g, sharing the process-wide cached
 // boundary tables.
 func NewTriage(g *lattice.Graph) *Triage {
-	return &Triage{g: g, bd: lut.BoundaryFor(g)}
+	return &Triage{g: g, bd: lut.BoundaryFor(g), res: make([]int32, 0, maxTriageDefects)}
 }
 
 // Classify resolves the syndrome's logical-cut parity without materializing

@@ -29,6 +29,34 @@ type chunkTally struct {
 	// the bit-plane kernel ran the chunk.
 	bpFast     uint64
 	bpGathered uint64
+
+	// Partial-residual peel tallies (core.Triage.PeelResidual): certified
+	// components peeled off, trials fully resolved by the peel
+	// decomposition without a decoder walk (those also count in multi),
+	// full decodes that ran on a strictly smaller residual (those also
+	// count in full), and the defect-count histogram of the residuals
+	// actually decoded. The scalar kernel peels only what classifyMulti
+	// punts; the bit-plane kernel routes every gathered multi-defect lane
+	// through the peel (its certified set contains classifyMulti's).
+	peeled       uint64
+	peelResolved uint64
+	residual     uint64
+	resHist      [5]uint64 // residual defect count: <=2, <=4, <=8, <=16, >16
+}
+
+// resBucket maps a residual defect count to its chunkTally.resHist bucket.
+func resBucket(n int) int {
+	switch {
+	case n <= 2:
+		return 0
+	case n <= 4:
+		return 1
+	case n <= 8:
+		return 2
+	case n <= 16:
+		return 3
+	}
+	return 4
 }
 
 // runner is the engine-facing contract both shot kernels satisfy: the
@@ -60,6 +88,7 @@ type kernel struct {
 	tri     *core.Triage
 	cutEdge []bool // per edge: correction edge flips the logical cut
 	triage  bool
+	peel    bool // run PeelResidual on punted syndromes
 	b       noise.Batch
 
 	// failLog, when non-nil, records every trial's failure bit in order —
@@ -80,6 +109,7 @@ func newKernel(cfg AccuracyConfig, g *lattice.Graph) *kernel {
 	k.cutEdge = k.s.CutEdges()
 	if k.triage {
 		k.tri = core.NewTriage(g)
+		k.peel = !cfg.DisablePeel
 	}
 	return k
 }
@@ -136,6 +166,37 @@ func (k *kernel) run(n uint64) chunkTally {
 						k.failLog = append(k.failLog, fail)
 					}
 					continue
+				}
+				if k.peel {
+					// The whole syndrome punted; peel off the components the
+					// radius-bound certificate still certifies, fold their
+					// closed-form parity, and hand the decoder only the
+					// ambiguous residual (see core.Triage.PeelResidual).
+					df0 := len(df)
+					if pp, res, comps := k.tri.PeelResidual(df); comps > 0 {
+						t.peeled += uint64(comps)
+						if pp {
+							par = !par
+						}
+						df = res
+					}
+					if len(df) == 0 {
+						// Everything certified: a pure pair/single/duo
+						// decomposition resolved without a decoder walk.
+						t.multi++
+						t.peelResolved++
+						if par {
+							t.failures++
+						}
+						if k.failLog != nil {
+							k.failLog = append(k.failLog, par)
+						}
+						continue
+					}
+					if len(df) < df0 {
+						t.residual++
+						t.resHist[resBucket(len(df))]++
+					}
 				}
 			}
 			t.full++

@@ -26,7 +26,9 @@ import (
 //     singles, W2 punt band, W1 ties) has its per-lane defect lists
 //     extracted from the classifier's compact defect list — vertex order
 //     ascends, so lists arrive sorted — and runs the existing scalar
-//     core.Triage / full-decoder path.
+//     core.Triage / full-decoder path, with core.Triage.PeelResidual
+//     stripping certified components off punted lanes before the decoder
+//     sees them.
 //
 // The fast/gathered split is what the afs_mc_bitplane_* counters publish;
 // fast + gathered == trials by construction.
@@ -44,6 +46,7 @@ type bpKernel struct {
 	lt      *core.LaneTriage
 	cutEdge []bool
 	triage  bool
+	peel    bool // run PeelResidual on gathered lanes the scalar triage punts
 	pg      noise.PlaneGroup
 
 	// Per-lane gather scratch, reused across groups: defect lists for the
@@ -64,6 +67,7 @@ func newBPKernel(cfg AccuracyConfig, g *lattice.Graph) *bpKernel {
 		lt:     core.NewLaneTriage(g),
 		triage: !cfg.DisableTriage,
 	}
+	k.peel = k.triage && !cfg.DisablePeel
 	k.cutEdge = k.s.CutEdges()
 	return k
 }
@@ -145,7 +149,32 @@ func (k *bpKernel) run(n uint64) chunkTally {
 					df := k.lists[lane]
 					var fail bool
 					t.bpGathered++
-					if class, p, ok := k.tri.ClassifySyndrome(df); ok {
+					if k.peel && len(df) >= 3 {
+						// Multi-defect lanes go straight to the partial-
+						// residual decomposition: its certified-whole set
+						// strictly contains classifyMulti's with identical
+						// parity (test-enforced containment), so one
+						// PeelResidual pass replaces the classify-then-peel
+						// double scan, peels certified components off
+						// whatever remains ambiguous, and hands the decoder
+						// only the residual (see core.Triage.PeelResidual).
+						pp, res, comps := k.tri.PeelResidual(df)
+						t.peeled += uint64(comps)
+						if len(res) == 0 {
+							// Everything certified: a pure pair/single/duo
+							// decomposition resolved without a decoder walk.
+							t.multi++
+							t.peelResolved++
+							fail = par != pp
+						} else {
+							t.full++
+							if len(res) < len(df) {
+								t.residual++
+								t.resHist[resBucket(len(res))]++
+							}
+							fail = k.fullDecode(res, par != pp)
+						}
+					} else if class, p, ok := k.tri.ClassifySyndrome(df); ok {
 						switch class {
 						case core.TriageW1:
 							t.w1++

@@ -73,10 +73,12 @@ func TestBitPlaneTriagedBitIdenticalToFullPath(t *testing.T) {
 // The bit-plane kernel must reproduce, trial for trial, the straightforward
 // per-lane scalar resolution of the SAME plane-sampled trials: extract each
 // lane's sorted defect list, run it through scalar triage, punt to the full
-// decoder exactly as the scalar kernel would. This pins every piece of the
-// lane machinery — weight masks, north parity, captured W2 pairs, the
-// Paired rule, and the gather scan — against the code path the repo already
-// trusts.
+// decoder. This pins every piece of the lane machinery — weight masks,
+// north parity, captured W2 pairs, the Paired rule, and the gather scan —
+// against the code path the repo already trusts. The reference deliberately
+// decodes punted lanes whole (no PeelResidual), so agreement here also
+// differentially validates the kernel's partial-residual peel against
+// undecomposed decodes on exactly the syndrome population the kernel sees.
 func TestBitPlaneKernelMatchesPerLaneReference(t *testing.T) {
 	for _, tc := range []struct {
 		d int
@@ -228,17 +230,21 @@ func TestBitPlaneKernelZeroAllocSteadyState(t *testing.T) {
 // TestPerfSmokeBitPlaneKernel pins the bit-plane kernel's floors at the
 // paper's design point (d=11, p=1e-3) — the tentpole's speedup claim lives
 // at this point, so a regression that silently falls back to scalar speed
-// trips here. Two floors: raw throughput (set ~2.5x under dev-machine
-// numbers, so only real regressions — not CI jitter — fail) and the
-// machine-independent fast-lane fraction (dev machines measure ~0.95; a
-// broken Matched/Chain4/SinglesOK class drops it far below the 0.85
-// floor). Enabled by AFS_PERF_SMOKE=1.
+// trips here. Three floors: raw throughput (set ~2x under dev-machine
+// numbers, so only real regressions — not CI jitter — fail), the
+// machine-independent fast-lane fraction (dev machines measure ~0.96; a
+// broken Matched/Chain4/SinglesOK/duo class drops it far below the 0.90
+// floor), and the machine-independent residual-peel fraction — the share
+// of full-decoder visits that peeling resolved or shrank (dev machines
+// measure ~0.94; a broken PeelResidual certificate or kernel wiring drops
+// it far below 0.60). Enabled by AFS_PERF_SMOKE=1.
 func TestPerfSmokeBitPlaneKernel(t *testing.T) {
 	if os.Getenv("AFS_PERF_SMOKE") == "" {
 		t.Skip("set AFS_PERF_SMOKE=1 to run the pinned-floor perf smoke")
 	}
-	const floorTPS = 1_300_000.0
-	const floorFastFrac = 0.85
+	const floorTPS = 1_500_000.0
+	const floorFastFrac = 0.90
+	const floorPeelFrac = 0.60
 	cfg := AccuracyConfig{Distance: 11, P: 1e-3, Seed: 1, New: sparseUFFactory, BitPlane: true}
 	k := newBPKernel(cfg, cfg.graph())
 	k.reseed(cfg.Seed, 0)
@@ -248,7 +254,9 @@ func TestPerfSmokeBitPlaneKernel(t *testing.T) {
 	tally := k.run(trials)
 	tps := float64(trials) / time.Since(start).Seconds()
 	fastFrac := float64(tally.bpFast) / float64(trials)
-	t.Logf("bit-plane kernel: %.2fM trials/s (fast-lane fraction %.4f)", tps/1e6, fastFrac)
+	peelFrac := float64(tally.residual+tally.peelResolved) / float64(tally.full+tally.peelResolved)
+	t.Logf("bit-plane kernel: %.2fM trials/s (fast-lane fraction %.4f, peel fraction %.4f)",
+		tps/1e6, fastFrac, peelFrac)
 	if tally.bpFast+tally.bpGathered != trials {
 		t.Fatalf("lane tallies %d+%d do not partition %d trials", tally.bpFast, tally.bpGathered, trials)
 	}
@@ -258,25 +266,35 @@ func TestPerfSmokeBitPlaneKernel(t *testing.T) {
 	if fastFrac < floorFastFrac {
 		t.Fatalf("fast-lane fraction %.4f below pinned floor %.2f", fastFrac, floorFastFrac)
 	}
+	if peelFrac < floorPeelFrac {
+		t.Fatalf("residual-peel fraction %.4f below pinned floor %.2f", peelFrac, floorPeelFrac)
+	}
 }
 
 // BenchmarkBitPlaneKernel measures the bit-plane pipeline at the paper's
 // design point (d=11, p=0.001); ns/op is ns per trial. BENCH_6.json
 // records this against the scalar batch kernel's 515 ns/trial.
 func BenchmarkBitPlaneKernel(b *testing.B) {
-	benchBPKernel(b, false)
+	benchBPKernel(b, false, false)
 }
 
 // BenchmarkBitPlaneKernelUntriaged isolates the lane fast paths'
 // contribution.
 func BenchmarkBitPlaneKernelUntriaged(b *testing.B) {
-	benchBPKernel(b, true)
+	benchBPKernel(b, true, false)
 }
 
-func benchBPKernel(b *testing.B, disableTriage bool) {
+// BenchmarkBitPlaneKernelNoPeel ablates only the partial-residual peel —
+// the same-run baseline the BENCH_7 comparison uses (it is the BENCH_6
+// kernel's routing: punted lanes decode whole).
+func BenchmarkBitPlaneKernelNoPeel(b *testing.B) {
+	benchBPKernel(b, false, true)
+}
+
+func benchBPKernel(b *testing.B, disableTriage, disablePeel bool) {
 	cfg := AccuracyConfig{
 		Distance: 11, P: 0.001, Seed: 2, New: sparseUFFactory,
-		BitPlane: true, DisableTriage: disableTriage,
+		BitPlane: true, DisableTriage: disableTriage, DisablePeel: disablePeel,
 	}
 	k := newBPKernel(cfg, cfg.graph())
 	k.reseed(cfg.Seed, 0)

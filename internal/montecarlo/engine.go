@@ -30,6 +30,10 @@ type point struct {
 	// kernel.
 	bpFast, bpGathered atomic.Uint64
 
+	// Partial-residual peel tallies (see chunkTally).
+	peeled, peelResolved, residual atomic.Uint64
+	resHist                        [5]atomic.Uint64
+
 	// Wall-clock bookkeeping: a CAS-latched start and a plain store per
 	// chunk end. The mutex-and-time.Time pair this replaces put two lock
 	// round-trips and a time.Now on every claim; now a claim after the
@@ -92,6 +96,20 @@ func (pt *point) finish(trials uint64, t chunkTally) {
 	if t.bpGathered != 0 {
 		pt.bpGathered.Add(t.bpGathered)
 	}
+	if t.peeled != 0 {
+		pt.peeled.Add(t.peeled)
+	}
+	if t.peelResolved != 0 {
+		pt.peelResolved.Add(t.peelResolved)
+	}
+	if t.residual != 0 {
+		pt.residual.Add(t.residual)
+		for i, n := range t.resHist {
+			if n != 0 {
+				pt.resHist[i].Add(n)
+			}
+		}
+	}
 	done := pt.trials.Add(trials)
 	pt.endNS.Store(time.Now().UnixNano())
 	if pt.cfg.StopRelCI <= 0 || pt.stopped.Load() {
@@ -138,6 +156,12 @@ func (pt *point) result() AccuracyResult {
 	res.FullDecodes = pt.full.Load()
 	res.BitPlaneFastLanes = pt.bpFast.Load()
 	res.BitPlaneGatheredLanes = pt.bpGathered.Load()
+	res.PeeledComponents = pt.peeled.Load()
+	res.PeelResolved = pt.peelResolved.Load()
+	res.ResidualDecodes = pt.residual.Load()
+	for i := range res.ResidualDefects {
+		res.ResidualDefects[i] = pt.resHist[i].Load()
+	}
 	res.CI = rateInterval(failures, executed, pt.cfg.Seed)
 	if pt.started.Load() {
 		res.Elapsed = time.Duration(pt.endNS.Load() - pt.startNS.Load())

@@ -83,6 +83,18 @@ type AccuracyConfig struct {
 	// decoders deliberately deviate from minimal-correction behavior.
 	DisableTriage bool
 
+	// DisablePeel turns off the partial-residual decomposition
+	// (core.Triage.PeelResidual) that strips certified components off
+	// syndromes the triage layer punts before the full decoder runs.
+	// Peeling is failure-equivalent for the Union-Find decoders the
+	// kernels use (the radius-bound certificate guarantees the peeled
+	// groups evolve independently), so this exists for ablation benches
+	// and for custom Factory decoders that are not group-additive — i.e.
+	// that may resolve an isolated defect group differently standalone
+	// than in context (the hierarchical router is the in-repo example).
+	// Implied by DisableTriage.
+	DisablePeel bool
+
 	// StopRelCI, when positive, enables adaptive early stopping: the point
 	// terminates once the Wilson 95% CI half-width divided by the observed
 	// rate is <= StopRelCI (e.g. 0.1 stops at ±10% relative precision).
@@ -161,6 +173,30 @@ type AccuracyResult struct {
 	// bit-plane kernel ran.
 	BitPlaneFastLanes     uint64
 	BitPlaneGatheredLanes uint64
+	// Partial-residual peel tallies (core.Triage.PeelResidual): certified
+	// components peeled, trials resolved entirely by the peel
+	// decomposition (a subset of TriageMulti; under the bit-plane kernel
+	// every gathered multi-defect lane routes through the peel, under the
+	// scalar kernel only classifyMulti's punts do), full decodes that ran
+	// on a strictly smaller residual (a subset of FullDecodes), and the
+	// defect-count histogram of those residuals (buckets <=2, <=4, <=8,
+	// <=16, >16).
+	PeeledComponents uint64
+	PeelResolved     uint64
+	ResidualDecodes  uint64
+	ResidualDefects  [5]uint64
+}
+
+// PeelFractions returns the partial-residual peel outcomes as fractions of
+// executed trials: trials the peel resolved outright, and full decodes
+// that ran on a strictly smaller residual syndrome. Their sum bounds the
+// share of punted trials the decomposition touched.
+func (r *AccuracyResult) PeelFractions() (resolved, residual float64) {
+	if r.Trials == 0 {
+		return 0, 0
+	}
+	n := float64(r.Trials)
+	return float64(r.PeelResolved) / n, float64(r.ResidualDecodes) / n
 }
 
 // TriageFractions returns the triage-class tallies as fractions of the

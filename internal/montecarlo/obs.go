@@ -35,6 +35,17 @@ type mcObs struct {
 	// bit-plane runs.
 	bitplaneFast     *obs.Counter
 	bitplaneGathered *obs.Counter
+
+	// Partial-residual peel tallies: components peeled off punted
+	// syndromes, punted trials the peel resolved outright, full decodes
+	// that ran on a strictly smaller residual, and a bucketed histogram
+	// of residual defect counts (<=2, <=4, <=8, <=16, >16). -metrics
+	// divides the split counters by afs_mc_full_decodes_total for the
+	// live full-vs-residual decode picture.
+	residualPeeled   *obs.Counter
+	residualResolved *obs.Counter
+	residualDecodes  *obs.Counter
+	residualDefects  [5]*obs.Counter
 }
 
 // flushChunk folds one completed chunk's tally into the shared counters —
@@ -67,6 +78,20 @@ func (m *mcObs) flushChunk(shard int, trials uint64, t chunkTally) {
 	if t.bpGathered != 0 {
 		m.bitplaneGathered.Add(shard, t.bpGathered)
 	}
+	if t.peeled != 0 {
+		m.residualPeeled.Add(shard, t.peeled)
+	}
+	if t.peelResolved != 0 {
+		m.residualResolved.Add(shard, t.peelResolved)
+	}
+	if t.residual != 0 {
+		m.residualDecodes.Add(shard, t.residual)
+		for i, n := range t.resHist {
+			if n != 0 {
+				m.residualDefects[i].Add(shard, n)
+			}
+		}
+	}
 }
 
 var (
@@ -88,6 +113,19 @@ var (
 				"trial lanes resolved by bit-plane algebra without gathering", s),
 			bitplaneGathered: reg.NewCounter("afs_mc_bitplane_gathered_lanes_total",
 				"trial lanes gathered from planes into the scalar decode path", s),
+			residualPeeled: reg.NewCounter("afs_mc_residual_peeled_components_total",
+				"certified components peeled off punted syndromes", s),
+			residualResolved: reg.NewCounter("afs_mc_residual_peel_resolved_total",
+				"punted trials fully resolved by partial-residual peeling", s),
+			residualDecodes: reg.NewCounter("afs_mc_residual_decodes_total",
+				"full decodes that ran on a strictly smaller peeled residual", s),
+			residualDefects: [5]*obs.Counter{
+				reg.NewCounter("afs_mc_residual_defects_le2_total", "residual decodes with <=2 defects", s),
+				reg.NewCounter("afs_mc_residual_defects_le4_total", "residual decodes with 3-4 defects", s),
+				reg.NewCounter("afs_mc_residual_defects_le8_total", "residual decodes with 5-8 defects", s),
+				reg.NewCounter("afs_mc_residual_defects_le16_total", "residual decodes with 9-16 defects", s),
+				reg.NewCounter("afs_mc_residual_defects_gt16_total", "residual decodes with >16 defects", s),
+			},
 		}
 	}()
 	mcObsShardSeq atomic.Uint32

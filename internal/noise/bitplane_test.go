@@ -248,14 +248,14 @@ func TestFastLogAccuracy(t *testing.T) {
 			t.Fatalf("fastLog(%g) = %.17g, want %.17g (err %g)", u, got, want, d)
 		}
 	}
-	check(1.0 / (1 << 53))             // smallest nonzero uniform
-	check(math.Nextafter(1, 0))        // largest below 1
+	check(1.0 / (1 << 53))      // smallest nonzero uniform
+	check(math.Nextafter(1, 0)) // largest below 1
 	check(0.5)
 	for i := 0; i < 128; i++ {
 		h := 1 + float64(i)/128
-		check(h / 2)                     // exact bucket boundary
-		check(math.Nextafter(h/2, 0))    // just below it
-		check(math.Nextafter(h/2, 1))    // just above it
+		check(h / 2)                  // exact bucket boundary
+		check(math.Nextafter(h/2, 0)) // just below it
+		check(math.Nextafter(h/2, 1)) // just above it
 	}
 	rng := rand.NewPCG(99, 0)
 	for i := 0; i < 200000; i++ {
