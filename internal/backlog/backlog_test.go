@@ -137,3 +137,105 @@ func TestBoundedQueueResetClosesOpenEpisode(t *testing.T) {
 		t.Fatalf("queue wedged after Reset: shed=%v sheds=%d", shed, q.Sheds)
 	}
 }
+
+// driveQueue runs a fixed overload/drain script against q, returning the
+// shed-decision trace and serving slowNS while i < slowUntil, fastNS after
+// — a load profile that opens a shedding episode and then drains it.
+func driveQueue(q *BoundedQueue, rounds, slowUntil int) []bool {
+	trace := make([]bool, rounds)
+	for i := 0; i < rounds; i++ {
+		trace[i] = q.Arrive()
+		svc := 100.0
+		if i < slowUntil {
+			svc = 900
+		}
+		q.Serve(svc)
+	}
+	return trace
+}
+
+// TestBoundedQueueStateHandoffMidEpisode cuts the queue at every round of
+// an overload → drain script and hands its state to a fresh queue — the
+// shed-during-reconnect interleaving a fleet failover produces when a shard
+// dies while its streams are inside a shedding episode. Whatever the cut
+// point (before the episode, mid-shed, mid-drain, after recovery), the
+// handed-off queue must make the identical shed decisions and finish with
+// the identical episode counters, and Sheds must balance Recoveries once
+// the episode drains — no lost and no double-counted episodes.
+func TestBoundedQueueStateHandoffMidEpisode(t *testing.T) {
+	const rounds, slowUntil = 40, 12
+	ref := BoundedQueue{ArrivalNS: 400, Cap: 2}
+	want := driveQueue(&ref, rounds, slowUntil)
+	if ref.Sheds == 0 {
+		t.Fatal("script opened no shedding episode")
+	}
+	if ref.Sheds != ref.Recoveries {
+		t.Fatalf("reference did not drain: %d sheds vs %d recoveries", ref.Sheds, ref.Recoveries)
+	}
+	for cut := 0; cut <= rounds; cut++ {
+		a := BoundedQueue{ArrivalNS: 400, Cap: 2}
+		got := make([]bool, 0, rounds)
+		for i := 0; i < cut; i++ {
+			got = append(got, a.Arrive())
+			svc := 100.0
+			if i < slowUntil {
+				svc = 900
+			}
+			a.Serve(svc)
+		}
+		// The reconnect: a fresh queue adopts the checkpointed state. An
+		// open episode must stay open (SetState is not Reset).
+		b := BoundedQueue{ArrivalNS: 400, Cap: 2}
+		b.SetState(a.State())
+		for i := cut; i < rounds; i++ {
+			got = append(got, b.Arrive())
+			svc := 100.0
+			if i < slowUntil {
+				svc = 900
+			}
+			b.Serve(svc)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("cut %d: shed decision %d diverged after handoff", cut, i)
+			}
+		}
+		if b.Sheds != ref.Sheds || b.Recoveries != ref.Recoveries {
+			t.Fatalf("cut %d: counters (%d,%d) diverge from uninterrupted (%d,%d)",
+				cut, b.Sheds, b.Recoveries, ref.Sheds, ref.Recoveries)
+		}
+	}
+}
+
+// TestBoundedQueueHandoffThenReset covers the other interleaving order: the
+// stream sheds, the shard dies mid-episode, the replacement adopts the
+// state, and the stream then ENDS (Reset) before the backlog drains. The
+// adopted open episode must be closed by Reset exactly once.
+func TestBoundedQueueHandoffThenReset(t *testing.T) {
+	a := BoundedQueue{ArrivalNS: 400, Cap: 2}
+	a.Serve(10 * 400)
+	for i := 0; i < 3 && !a.Arrive(); i++ {
+	}
+	if a.Sheds != 1 || a.Recoveries != 0 {
+		t.Fatalf("setup: sheds %d, recoveries %d, want 1, 0", a.Sheds, a.Recoveries)
+	}
+	b := BoundedQueue{ArrivalNS: 400, Cap: 2}
+	b.SetState(a.State())
+	if got := b.State(); !got.Shedding {
+		t.Fatal("SetState closed the open episode — a handoff must preserve it")
+	}
+	b.Reset()
+	if b.Sheds != 1 || b.Recoveries != 1 {
+		t.Fatalf("after handoff+Reset: %d sheds vs %d recoveries, want 1 and 1", b.Sheds, b.Recoveries)
+	}
+	// And a double handoff (failover, then failover again) still counts the
+	// episode once.
+	c := BoundedQueue{ArrivalNS: 400, Cap: 2}
+	c.SetState(a.State())
+	d := BoundedQueue{ArrivalNS: 400, Cap: 2}
+	d.SetState(c.State())
+	d.Reset()
+	if d.Sheds != 1 || d.Recoveries != 1 {
+		t.Fatalf("after double handoff: %d sheds vs %d recoveries, want 1 and 1", d.Sheds, d.Recoveries)
+	}
+}

@@ -89,6 +89,38 @@ func (q *BoundedQueue) Lag() float64 {
 // Now returns the arrival clock in model nanoseconds.
 func (q *BoundedQueue) Now() float64 { return q.nowNS }
 
+// QueueState is the serializable dynamic state of a BoundedQueue: the two
+// model-time clocks, the shedding-episode flag, and the episode counters.
+// It is the queue's contribution to a streaming decoder's checkpoint — a
+// restored queue continues exactly where the snapshot was taken, including
+// mid-episode, so a fleet ledger merged across a crash/replay failover
+// balances Sheds against Recoveries the same way an uninterrupted run does.
+type QueueState struct {
+	NowNS      float64 `json:"now_ns"`
+	FreeNS     float64 `json:"free_ns"`
+	Shedding   bool    `json:"shedding"`
+	Sheds      uint64  `json:"sheds"`
+	Recoveries uint64  `json:"recoveries"`
+}
+
+// State captures the queue's dynamic state for a checkpoint.
+func (q *BoundedQueue) State() QueueState {
+	return QueueState{
+		NowNS: q.nowNS, FreeNS: q.freeNS, Shedding: q.shedding,
+		Sheds: q.Sheds, Recoveries: q.Recoveries,
+	}
+}
+
+// SetState restores a checkpointed state, clocks and episode flag included.
+// Unlike Reset it does NOT close an open shedding episode — the restored
+// queue *is* that episode, still open, and will close it itself when the
+// backlog drains (or when the stream eventually resets).
+func (q *BoundedQueue) SetState(s QueueState) {
+	q.nowNS, q.freeNS = s.NowNS, s.FreeNS
+	q.shedding = s.Shedding
+	q.Sheds, q.Recoveries = s.Sheds, s.Recoveries
+}
+
 // Reset rewinds the clocks and the shedding state for a new stream; the
 // episode counters are cumulative and survive. A shedding episode still
 // open when the stream ends is closed here and counted as a recovery —

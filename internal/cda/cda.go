@@ -72,6 +72,21 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// AdmissionCap returns the number of logical-qubit streams a decode shard
+// provisioned with `blocks` CDA decoder blocks admits: QubitsPerBlock
+// streams per block (each logical qubit owns one Gr-Gen slot in its block;
+// the DFS/CORR engines are the shared resources whose contention Simulate
+// models). A decode-fleet shard uses this as its admission policy — streams
+// past the cap are refused at Open so the router places them on a block
+// that still has a slot, instead of silently overcommitting the shared
+// pipeline units and inflating p_tof. blocks <= 0 yields 0 (admit nothing).
+func AdmissionCap(blocks int, cfg Config) int {
+	if blocks <= 0 {
+		return 0
+	}
+	return blocks * cfg.withDefaults().QubitsPerBlock
+}
+
 // Result summarizes a CDA contention run.
 type Result struct {
 	Config Config

@@ -133,6 +133,15 @@ func (c Config) corruptBits() int {
 	return c.CorruptBits
 }
 
+// StreamSeed derives stream i's channel seed from a fleet-wide base seed.
+// Every fleet driver — the in-process stream.Engine, the sharded fleet
+// router, the robustness harness — must use this one formula, so a fleet
+// run and its in-process reference inject the identical fault sequence per
+// stream and bit-identity checks across deployment shapes are meaningful.
+func StreamSeed(base uint64, stream int) uint64 {
+	return base + uint64(stream)*0x9e3779b9
+}
+
 // Source yields successive syndrome rounds of one stream (the pull-style
 // shape cmd drivers use); the returned slice may be reused by the next
 // call.

@@ -1,0 +1,1031 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"afs/internal/faults"
+	"afs/internal/stream"
+)
+
+// Config configures a fleet router.
+type Config struct {
+	// Network is the socket family ("tcp" or "unix"); Shards the shard
+	// addresses. Every shard must be reachable at Dial time.
+	Network string
+	Shards  []string
+
+	// Streams is the number of logical-qubit streams L; Distance, Window
+	// and Commit configure every stream's decoder with the same defaults as
+	// stream.New. DeadlineNS and QueueCap are the per-stream Robust
+	// settings applied shard-side.
+	Streams                  int
+	Distance, Window, Commit int
+	DeadlineNS               float64
+	QueueCap                 int
+
+	// Chaos, when non-nil, injects link faults on every stream's
+	// qubit→decoder channel — router-side, before the socket, so the wire
+	// carries post-fault syndromes. Each stream's channel is seeded with
+	// faults.StreamSeed(Chaos.Seed, i), the same formula stream.Engine
+	// uses, so a fleet run and its in-process reference inject identical
+	// fault sequences.
+	Chaos *faults.Config
+
+	// Sink, when non-nil, receives every committed correction instead of
+	// the router retaining it. Calls for one stream arrive in sequence
+	// order; the sink runs under the router's lock and must not block.
+	Sink func(stream int, c stream.Correction)
+
+	// ReconnectAttempts bounds the dial retries to a crashed shard before
+	// the router fails its streams over to the survivors (0 selects 4;
+	// negative disables reconnection — immediate failover).
+	// ReconnectBackoff is the first retry's delay, doubling per attempt (0
+	// selects 25ms).
+	ReconnectAttempts int
+	ReconnectBackoff  time.Duration
+
+	// HeartbeatEvery is the ping cadence per shard session (0 selects
+	// 250ms; negative disables heartbeats). A session whose pong is older
+	// than HeartbeatMiss periods (0 selects 4) is declared dead even if the
+	// socket never errors — the stalled-shard case a kill -9 on a remote
+	// box produces.
+	HeartbeatEvery time.Duration
+	HeartbeatMiss  int
+
+	// DialTimeout bounds each connection attempt (0 selects 2s).
+	DialTimeout time.Duration
+}
+
+func (c Config) reconnectAttempts() int {
+	if c.ReconnectAttempts < 0 {
+		return 0
+	}
+	if c.ReconnectAttempts == 0 {
+		return 4
+	}
+	return c.ReconnectAttempts
+}
+
+func (c Config) reconnectBackoff() time.Duration {
+	if c.ReconnectBackoff <= 0 {
+		return 25 * time.Millisecond
+	}
+	return c.ReconnectBackoff
+}
+
+func (c Config) heartbeatEvery() time.Duration {
+	if c.HeartbeatEvery == 0 {
+		return 250 * time.Millisecond
+	}
+	return c.HeartbeatEvery
+}
+
+func (c Config) heartbeatMiss() int {
+	if c.HeartbeatMiss <= 0 {
+		return 4
+	}
+	return c.HeartbeatMiss
+}
+
+func (c Config) dialTimeout() time.Duration {
+	if c.DialTimeout <= 0 {
+		return 2 * time.Second
+	}
+	return c.DialTimeout
+}
+
+// journalEntry is one post-chaos round retained for replay: exactly what
+// went (or would have gone) on the wire — the delivered events, the erasure
+// flag, and the injected service-time penalty. Replaying journal entries
+// re-uses the original fault outcomes instead of rolling new ones, which is
+// what keeps recovery byte-identical.
+type journalEntry struct {
+	events  []int32
+	erased  bool
+	penalty float64
+}
+
+// streamState is the router's view of one logical-qubit stream.
+type streamState struct {
+	id   int
+	home int // preferred shard (deterministic placement)
+	cur  int // shard currently decoding the stream
+
+	ch *faults.Channel // router-side chaos link, nil without Chaos
+
+	sent      uint64 // rounds journaled (and sent, modulo an in-flight crash)
+	delivered uint64 // last correction seq delivered to the sink
+
+	// The bounded replay journal: entries for rounds [jbase, sent), where
+	// jbase equals the last received checkpoint's round count. ckptSnap is
+	// that checkpoint's snapshot JSON (nil before the first checkpoint —
+	// recovery then re-opens fresh and replays from round 0).
+	jbase       uint64
+	journal     []journalEntry
+	free        [][]int32 // recycled event slices from trimmed entries
+	ckptCorrSeq uint64
+	ckptSnap    []byte
+
+	ledger  faults.Report // decoder ledger received at flush
+	flushed bool
+}
+
+// link is one shard connection. Writes (rounds, opens, pings) serialize
+// under wmu; reads run on a dedicated goroutine per session. gen increments
+// per session so messages and deaths of a stale session cannot affect its
+// successor.
+type link struct {
+	idx  int
+	addr string
+
+	wmu  sync.Mutex
+	conn net.Conn
+	bw   *bufio.Writer
+	gen  uint64
+	wbuf []byte
+	pbuf []byte
+
+	up       atomic.Bool
+	lastPong atomic.Int64 // unix nanos
+}
+
+// RecoveryStats describes the router's last completed crash recovery.
+type RecoveryStats struct {
+	// Shard is the crashed shard's index; Reconnected reports whether the
+	// same shard came back within the backoff budget (false means the
+	// streams failed over to survivors).
+	Shard       int
+	Reconnected bool
+	// Streams is how many streams were re-homed; ReplayedRounds how many
+	// journal rounds were replayed to restore them.
+	Streams        int
+	ReplayedRounds int
+	// Detect is the wall time from the crash being detected to recovery
+	// completing (reconnect/backoff plus adopt and replay for every
+	// affected stream).
+	Duration time.Duration
+}
+
+// Router is the fleet front end: it owns stream placement, the per-stream
+// chaos channels, the bounded replay journals, and crash recovery. Router
+// methods must not be called concurrently with each other; the concurrency
+// inside (per-shard reader and heartbeat goroutines) is invisible to the
+// caller beyond sink invocations.
+type Router struct {
+	cfg Config
+	per int
+
+	links   []*link
+	streams []*streamState
+	retain  [][]stream.Correction // when cfg.Sink == nil
+
+	// mu guards stream state (journals, checkpoints, delivery counters),
+	// the pending-open table, and flush signaling. Never held across a
+	// socket write.
+	mu      sync.Mutex
+	pending map[pendingKey]chan pendingResult
+	flushCh chan int // receives link indices whose flushOK arrived
+
+	recoveries   int
+	lastRecovery RecoveryStats
+	wireTx       atomic.Uint64
+	wireRx       atomic.Uint64
+
+	closed bool
+	ended  bool // Flush completed: streams are over
+}
+
+type pendingKey struct {
+	gen uint64
+	id  uint32
+}
+
+type pendingResult struct {
+	ok     bool
+	reason string
+}
+
+var errShardDown = errors.New("fleet: shard down")
+
+// Dial connects to every shard, opens the fleet's streams across them
+// (stream i prefers shard i mod N; admission refusals spill to the next
+// shard in order), and returns the ready router.
+func Dial(cfg Config) (*Router, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("fleet: no shards configured")
+	}
+	if cfg.Streams < 1 {
+		return nil, errors.New("fleet: need at least one stream")
+	}
+	if _, err := stream.New(cfg.Distance, cfg.Window, cfg.Commit); err != nil {
+		return nil, err
+	}
+	r := &Router{
+		cfg:     cfg,
+		per:     cfg.Distance * (cfg.Distance - 1),
+		pending: map[pendingKey]chan pendingResult{},
+		flushCh: make(chan int, len(cfg.Shards)*4),
+	}
+	if cfg.Sink == nil {
+		r.retain = make([][]stream.Correction, cfg.Streams)
+	}
+	for i, addr := range cfg.Shards {
+		r.links = append(r.links, &link{idx: i, addr: addr})
+	}
+	r.streams = make([]*streamState, cfg.Streams)
+	for i := range r.streams {
+		st := &streamState{id: i, home: i % len(r.links), cur: -1}
+		if cfg.Chaos != nil {
+			c := *cfg.Chaos
+			c.Seed = faults.StreamSeed(cfg.Chaos.Seed, i)
+			st.ch = faults.NewChannel(r.per, c)
+		}
+		r.streams[i] = st
+	}
+	for _, l := range r.links {
+		if err := r.connect(l); err != nil {
+			r.Close()
+			return nil, fmt.Errorf("fleet: shard %d (%s): %w", l.idx, l.addr, err)
+		}
+	}
+	// Place every stream: batches of opens per shard, pipelined, spilling
+	// on refusal.
+	for _, st := range r.streams {
+		if err := r.place(st); err != nil {
+			r.Close()
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// connect establishes a fresh session on l and starts its reader and
+// heartbeat goroutines.
+func (r *Router) connect(l *link) error {
+	conn, err := net.DialTimeout(r.cfg.Network, l.addr, r.cfg.dialTimeout())
+	if err != nil {
+		return err
+	}
+	l.wmu.Lock()
+	l.conn = conn
+	l.bw = bufio.NewWriterSize(conn, 1<<16)
+	l.gen++
+	gen := l.gen
+	l.lastPong.Store(time.Now().UnixNano())
+	l.up.Store(true)
+	l.wmu.Unlock()
+	shardsUp.Add(1)
+	go r.reader(l, conn, gen)
+	if r.cfg.HeartbeatEvery >= 0 {
+		go r.heartbeat(l, gen)
+	}
+	return nil
+}
+
+// markDead tears the session down once: later calls for the same
+// generation, and any call for a stale generation, are no-ops. It runs from
+// reader goroutines, the heartbeat, or the caller thread on a write error;
+// actual recovery (reconnect, failover, replay) happens only on the caller
+// thread.
+func (r *Router) markDead(l *link, gen uint64, cause error, heartbeat bool) {
+	l.wmu.Lock()
+	if l.gen != gen || !l.up.Load() {
+		l.wmu.Unlock()
+		return
+	}
+	l.up.Store(false)
+	l.conn.Close()
+	l.wmu.Unlock()
+	shardsUp.Add(-1)
+	fObs.crashes.Inc(l.idx)
+	if heartbeat {
+		fObs.hbTimeouts.Inc(l.idx)
+	}
+	// Fail pending opens and wake a flush waiter so the caller thread can
+	// run recovery instead of blocking forever.
+	r.mu.Lock()
+	for k, ch := range r.pending {
+		if k.gen>>32 == uint64(l.idx) { // see pendKey
+			delete(r.pending, k)
+			ch <- pendingResult{ok: false, reason: errShardDown.Error()}
+		}
+	}
+	r.mu.Unlock()
+	select {
+	case r.flushCh <- -1 - l.idx: // negative: death notice, not a flushOK
+	default:
+	}
+}
+
+// pendKey packs (link, session generation) so markDead can sweep exactly
+// the opens in flight on the session that died.
+func pendKey(l *link, gen uint64, id uint32) pendingKey {
+	return pendingKey{gen: uint64(l.idx)<<32 | (gen & 0xffffffff), id: id}
+}
+
+// reader drains one session's messages. Corrections and checkpoints from a
+// session that died microseconds ago are still valid — the shard really did
+// decode them, and replay dedup makes re-delivery harmless — so only the
+// pending-open table is generation-checked.
+func (r *Router) reader(l *link, conn net.Conn, gen uint64) {
+	br := bufio.NewReaderSize(&countingReader{r: conn, shard: l.idx, total: &r.wireRx}, 1<<16)
+	var buf []byte
+	for {
+		env, err := readEnvelope(br, &buf)
+		if err != nil {
+			r.markDead(l, gen, err, false)
+			return
+		}
+		switch env.typ {
+		case msgCorr:
+			if err := r.handleCorr(l, env); err != nil {
+				r.markDead(l, gen, err, false)
+				return
+			}
+		case msgCheckpoint:
+			if err := r.handleCheckpoint(l, env); err != nil {
+				r.markDead(l, gen, err, false)
+				return
+			}
+		case msgOpenOK, msgRefuse:
+			r.mu.Lock()
+			k := pendKey(l, gen, env.stream)
+			if ch, ok := r.pending[k]; ok {
+				delete(r.pending, k)
+				ch <- pendingResult{ok: env.typ == msgOpenOK, reason: string(env.payload)}
+			}
+			r.mu.Unlock()
+		case msgFlushOK:
+			if err := r.handleFlushOK(l, env); err != nil {
+				r.markDead(l, gen, err, false)
+				return
+			}
+		case msgPong:
+			l.lastPong.Store(time.Now().UnixNano())
+		default:
+			r.markDead(l, gen, fmt.Errorf("fleet: router got unexpected message type %d", env.typ), false)
+			return
+		}
+	}
+}
+
+func (r *Router) handleCorr(l *link, env envelope) error {
+	seq, c, err := decodeCorrPayload(env.payload)
+	if err != nil {
+		return err
+	}
+	i := int(env.stream)
+	if i >= len(r.streams) {
+		return fmt.Errorf("fleet: correction for unknown stream %d", i)
+	}
+	st := r.streams[i]
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if seq <= st.delivered {
+		// A replay regenerated a correction the fleet already delivered:
+		// the dedup that makes recovery invisible downstream.
+		fObs.replayDups.Inc(l.idx)
+		return nil
+	}
+	if seq != st.delivered+1 {
+		return fmt.Errorf("fleet: stream %d correction seq %d after %d", i, seq, st.delivered)
+	}
+	st.delivered = seq
+	fObs.corrections.Inc(l.idx)
+	if r.cfg.Sink != nil {
+		r.cfg.Sink(i, c)
+	} else {
+		r.retain[i] = append(r.retain[i], c)
+	}
+	return nil
+}
+
+func (r *Router) handleCheckpoint(l *link, env envelope) error {
+	rounds, corrSeq, snap, err := decodeCkptPayload(env.payload)
+	if err != nil {
+		return err
+	}
+	i := int(env.stream)
+	if i >= len(r.streams) {
+		return fmt.Errorf("fleet: checkpoint for unknown stream %d", i)
+	}
+	st := r.streams[i]
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rounds <= st.jbase {
+		// Stale: a late checkpoint from a dying session, or one taken at a
+		// round an earlier checkpoint already covered. Nothing to trim.
+		return nil
+	}
+	if rounds > st.sent {
+		return fmt.Errorf("fleet: stream %d checkpoint at round %d past %d sent", i, rounds, st.sent)
+	}
+	st.ckptCorrSeq = corrSeq
+	st.ckptSnap = append(st.ckptSnap[:0], snap...)
+	// Trim the journal up to the snapshot: those rounds are now durable in
+	// the checkpoint and will never need replay. Their event slices go to
+	// the free list so the steady state stops allocating.
+	drop := int(rounds - st.jbase)
+	for k := 0; k < drop; k++ {
+		if ev := st.journal[k].events; ev != nil {
+			st.free = append(st.free, ev[:0])
+		}
+	}
+	st.journal = append(st.journal[:0], st.journal[drop:]...)
+	st.jbase = rounds
+	fObs.checkpoints.Inc(l.idx)
+	return nil
+}
+
+func (r *Router) handleFlushOK(l *link, env envelope) error {
+	var ledgers map[uint32]faults.Report
+	if err := json.Unmarshal(env.payload, &ledgers); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	for id, rep := range ledgers {
+		if int(id) >= len(r.streams) {
+			r.mu.Unlock()
+			return fmt.Errorf("fleet: flush ledger for unknown stream %d", id)
+		}
+		st := r.streams[id]
+		if !st.flushed {
+			st.ledger = rep
+			st.flushed = true
+			fObs.shedWindows.Add(l.idx, rep.ShedRounds)
+		}
+	}
+	r.mu.Unlock()
+	r.flushCh <- l.idx
+	return nil
+}
+
+// heartbeat probes one session until it dies. Heartbeats are wall-clock and
+// affect only liveness detection — never decode results.
+func (r *Router) heartbeat(l *link, gen uint64) {
+	every := r.cfg.heartbeatEvery()
+	miss := time.Duration(r.cfg.heartbeatMiss()) * every
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for range t.C {
+		l.wmu.Lock()
+		if l.gen != gen || !l.up.Load() {
+			l.wmu.Unlock()
+			return
+		}
+		if time.Since(time.Unix(0, l.lastPong.Load())) > miss {
+			l.wmu.Unlock()
+			r.markDead(l, gen, errors.New("fleet: heartbeat timeout"), true)
+			return
+		}
+		l.wbuf = appendEnvelope(l.wbuf[:0], msgPing, 0, nil)
+		_, err := l.bw.Write(l.wbuf)
+		if err == nil {
+			err = l.bw.Flush()
+		}
+		l.wmu.Unlock()
+		if err != nil {
+			r.markDead(l, gen, err, false)
+			return
+		}
+	}
+}
+
+// write frames and sends one message on l, counting wire bytes. Returns
+// errShardDown (after marking the session dead) on any failure.
+func (r *Router) write(l *link, typ uint8, id uint32, payload []byte) error {
+	l.wmu.Lock()
+	if !l.up.Load() {
+		l.wmu.Unlock()
+		return errShardDown
+	}
+	gen := l.gen
+	l.wbuf = appendEnvelope(l.wbuf[:0], typ, id, payload)
+	n, err := l.bw.Write(l.wbuf)
+	l.wmu.Unlock()
+	r.wireTx.Add(uint64(n))
+	fObs.wireTx.Add(l.idx, uint64(n))
+	if err != nil {
+		r.markDead(l, gen, err, false)
+		return errShardDown
+	}
+	return nil
+}
+
+// flushLink flushes l's buffered writes to the socket.
+func (r *Router) flushLink(l *link) error {
+	l.wmu.Lock()
+	if !l.up.Load() {
+		l.wmu.Unlock()
+		return errShardDown
+	}
+	gen := l.gen
+	err := l.bw.Flush()
+	l.wmu.Unlock()
+	if err != nil {
+		r.markDead(l, gen, err, false)
+		return errShardDown
+	}
+	return nil
+}
+
+// replayPlan is an atomic capture of a stream's recovery state: the round
+// the open's checkpoint resumes from and a private copy of the journal
+// entries to replay after it. The copy makes the replay immune to the
+// journal being trimmed (shifted in place) by checkpoints that land while
+// the replay is still on the wire.
+type replayPlan struct {
+	base    uint64
+	entries []journalEntry
+}
+
+// openOn sends one open for st on l and waits for the verdict, returning
+// the replay plan captured atomically with the open's checkpoint.
+func (r *Router) openOn(st *streamState, l *link) (ok bool, reason string, plan replayPlan, err error) {
+	op := openPayload{
+		Distance:   r.cfg.Distance,
+		Window:     r.cfg.Window,
+		Commit:     r.cfg.Commit,
+		DeadlineNS: r.cfg.DeadlineNS,
+		QueueCap:   r.cfg.QueueCap,
+	}
+	// The open and the replay plan must be one atomic read of the stream's
+	// recovery state: a checkpoint arriving between them would trim the
+	// journal in place under the replay's feet (and advance jbase past the
+	// base the open just promised). Marshal inside the lock too — ckptSnap
+	// is rewritten in place when the next checkpoint lands.
+	r.mu.Lock()
+	op.Rounds = st.jbase
+	op.CorrSeq = st.ckptCorrSeq
+	if len(st.ckptSnap) > 0 {
+		op.Snapshot = json.RawMessage(st.ckptSnap)
+	}
+	blob, err := json.Marshal(op)
+	plan = replayPlan{base: st.jbase, entries: append([]journalEntry(nil), st.journal...)}
+	r.mu.Unlock()
+	if err != nil {
+		return false, "", plan, err
+	}
+	ch := make(chan pendingResult, 1)
+	l.wmu.Lock()
+	gen := l.gen
+	l.wmu.Unlock()
+	k := pendKey(l, gen, uint32(st.id))
+	r.mu.Lock()
+	r.pending[k] = ch
+	r.mu.Unlock()
+	if r.write(l, msgOpen, uint32(st.id), blob) != nil || r.flushLink(l) != nil {
+		// The session may have died before the pending entry was registered,
+		// in which case markDead's sweep missed it: remove it here so the
+		// table cannot accumulate dead entries.
+		r.mu.Lock()
+		delete(r.pending, k)
+		r.mu.Unlock()
+		return false, errShardDown.Error(), plan, nil
+	}
+	res := <-ch
+	return res.ok, res.reason, plan, nil
+}
+
+// place finds a shard for a homeless stream: its home shard first, then the
+// others in deterministic order, skipping dead links and admission
+// refusals.
+func (r *Router) place(st *streamState) error {
+	n := len(r.links)
+	var lastReason string
+	for k := 0; k < n; k++ {
+		l := r.links[(st.home+k)%n]
+		if !l.up.Load() {
+			lastReason = errShardDown.Error()
+			continue
+		}
+		ok, reason, plan, err := r.openOn(st, l)
+		if err != nil {
+			return err
+		}
+		if ok {
+			st.cur = l.idx
+			if err := r.replay(st, l, plan); err != nil {
+				// The target died mid-replay; try the remaining shards.
+				lastReason = err.Error()
+				continue
+			}
+			return nil
+		}
+		lastReason = reason
+	}
+	return fmt.Errorf("fleet: no shard admits stream %d: %s", st.id, lastReason)
+}
+
+// replay re-sends st's captured journal to l: rounds [plan.base, sent at
+// capture) with their original sequence numbers, fault outcomes and
+// penalties. The shard regenerates any corrections the fleet already
+// delivered; seq dedup drops them.
+func (r *Router) replay(st *streamState, l *link, plan replayPlan) error {
+	entries := plan.entries
+	base := plan.base
+	for k := range entries {
+		e := &entries[k]
+		l.wmu.Lock()
+		if !l.up.Load() {
+			l.wmu.Unlock()
+			return errShardDown
+		}
+		gen := l.gen
+		l.pbuf = appendRoundPayload(l.pbuf[:0], uint32(base+uint64(k)), e.events, e.erased, e.penalty, r.per)
+		l.wbuf = appendEnvelope(l.wbuf[:0], msgRound, uint32(st.id), l.pbuf)
+		n, err := l.bw.Write(l.wbuf)
+		l.wmu.Unlock()
+		r.wireTx.Add(uint64(n))
+		fObs.wireTx.Add(l.idx, uint64(n))
+		if err != nil {
+			r.markDead(l, gen, err, false)
+			return errShardDown
+		}
+	}
+	if len(entries) > 0 {
+		fObs.replayed.Add(l.idx, uint64(len(entries)))
+		fObs.roundsRouted.Add(l.idx, uint64(len(entries)))
+	}
+	return r.flushLink(l)
+}
+
+// recover handles the death of shard idx: bounded-backoff reconnection,
+// then — same shard or survivors — deterministic re-placement of every
+// stream it was decoding, restoring each from its last checkpoint and
+// replaying its journal. On return every affected stream is live again (or
+// an error says the fleet is out of capacity).
+func (r *Router) recover(idx int) error {
+	start := time.Now()
+	l := r.links[idx]
+	reconnected := false
+	attempts := r.cfg.reconnectAttempts()
+	backoff := r.cfg.reconnectBackoff()
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		if err := r.connect(l); err == nil {
+			reconnected = true
+			fObs.reconnects.Inc(idx)
+			break
+		}
+	}
+	var affected []*streamState
+	for _, st := range r.streams {
+		if st.cur == idx {
+			affected = append(affected, st)
+		}
+	}
+	replayedBefore := fObs.replayed.Value()
+	for _, st := range affected {
+		st.cur = -1
+		var err error
+		if reconnected {
+			// Prefer the reborn shard; fall back to the survivors if it
+			// refuses or dies again.
+			err = r.place(st)
+		} else {
+			// Immediate failover: place skips the dead link.
+			err = r.place(st)
+		}
+		if err != nil {
+			return err
+		}
+		if st.cur != idx {
+			fObs.failovers.Inc(idx)
+		}
+	}
+	r.recoveries++
+	r.lastRecovery = RecoveryStats{
+		Shard:          idx,
+		Reconnected:    reconnected,
+		Streams:        len(affected),
+		ReplayedRounds: int(fObs.replayed.Value() - replayedBefore),
+		Duration:       time.Since(start),
+	}
+	return nil
+}
+
+// sendRound journals and sends one post-chaos round for st. The journal
+// append happens first, so a send that dies mid-flight is replayed by the
+// recovery the failure triggers.
+func (r *Router) sendRound(st *streamState, events []int32, erased bool, penalty float64) error {
+	r.mu.Lock()
+	var ev []int32
+	if n := len(st.free); n > 0 && !erased {
+		ev = append(st.free[n-1], events...)
+		st.free = st.free[:n-1]
+	} else if !erased {
+		ev = append([]int32(nil), events...)
+	}
+	seq := st.sent
+	st.journal = append(st.journal, journalEntry{events: ev, erased: erased, penalty: penalty})
+	st.sent++
+	r.mu.Unlock()
+
+	l := r.links[st.cur]
+	if !l.up.Load() {
+		return errShardDown
+	}
+	l.wmu.Lock()
+	if !l.up.Load() {
+		l.wmu.Unlock()
+		return errShardDown
+	}
+	gen := l.gen
+	l.pbuf = appendRoundPayload(l.pbuf[:0], uint32(seq), ev, erased, penalty, r.per)
+	l.wbuf = appendEnvelope(l.wbuf[:0], msgRound, uint32(st.id), l.pbuf)
+	n, err := l.bw.Write(l.wbuf)
+	l.wmu.Unlock()
+	r.wireTx.Add(uint64(n))
+	fObs.wireTx.Add(l.idx, uint64(n))
+	if err != nil {
+		r.markDead(l, gen, err, false)
+		return errShardDown
+	}
+	fObs.roundsRouted.Inc(l.idx)
+	return nil
+}
+
+// flushEveryRounds bounds how long routed rounds may sit in the write
+// buffers: the shard cannot decode (or checkpoint) what it has not
+// received, and the journals only trim on checkpoints.
+const flushEveryRounds = 16
+
+// RunRounds feeds n rounds to every stream, pulling each round's detection
+// events from feed(stream, round) — invoked exactly once per (stream,
+// round), in round order per stream, exactly like stream.Engine.RunRounds.
+// Each round passes through the stream's chaos channel (when configured),
+// is journaled, and is routed to the stream's shard; a shard crash anywhere
+// in the batch triggers recovery (reconnect or failover plus replay) and
+// the batch continues. Corrections arrive asynchronously; Flush is the
+// barrier that makes them all visible.
+func (r *Router) RunRounds(n int, feed func(stream, round int) []int32) error {
+	if r.closed || r.ended {
+		return errors.New("fleet: router used after Flush or Close")
+	}
+	for round := 0; round < n; round++ {
+		for _, st := range r.streams {
+			events := feed(st.id, round)
+			erased := false
+			var penalty float64
+			if st.ch != nil {
+				events, erased, penalty = st.ch.Transfer(events)
+			}
+			if err := r.sendRound(st, events, erased, penalty); err != nil {
+				if err := r.recover(st.cur); err != nil {
+					return err
+				}
+			}
+		}
+		if (round+1)%flushEveryRounds == 0 {
+			if err := r.flushAll(); err != nil {
+				return err
+			}
+		}
+	}
+	return r.flushAll()
+}
+
+// flushAll flushes every live link's write buffer, running recovery for any
+// link found dead (crashed between rounds, detected by its reader).
+func (r *Router) flushAll() error {
+	for _, l := range r.links {
+		owns := false
+		for _, st := range r.streams {
+			if st.cur == l.idx {
+				owns = true
+				break
+			}
+		}
+		if !owns {
+			continue
+		}
+		if !l.up.Load() || r.flushLink(l) != nil {
+			if err := r.recover(l.idx); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Flush ends every stream: shards decode the remaining buffered layers as
+// closed windows, deliver the final corrections, and return each stream's
+// decoder ledger. A shard crash during the flush is recovered like any
+// other (checkpoint + replay on a survivor, then re-flush). After Flush the
+// fleet session is over: corrections and ledgers are complete and stable.
+func (r *Router) Flush() error {
+	if r.closed || r.ended {
+		return errors.New("fleet: router used after Flush or Close")
+	}
+	if err := r.flushAll(); err != nil {
+		return err
+	}
+	// Drain signals left over from earlier activity: death notices of
+	// crashes RunRounds already recovered, and flushOKs a previous Flush
+	// attempt stopped waiting for. Everything that matters now is re-derived
+	// below — dead links fail their writes, flushed streams are skipped.
+drain:
+	for {
+		select {
+		case <-r.flushCh:
+		default:
+			break drain
+		}
+	}
+	for try := 0; try < 1+len(r.links)*(1+r.cfg.reconnectAttempts()); try++ {
+		// Ask every live link that still owns unflushed streams to flush.
+		asked := map[int]bool{}
+		for _, st := range r.streams {
+			r.mu.Lock()
+			done := st.flushed
+			r.mu.Unlock()
+			if done || asked[st.cur] {
+				continue
+			}
+			asked[st.cur] = true
+			l := r.links[st.cur]
+			if r.write(l, msgFlush, 0, nil) != nil || r.flushLink(l) != nil {
+				if err := r.recover(l.idx); err != nil {
+					return err
+				}
+				return r.Flush()
+			}
+		}
+		if len(asked) == 0 {
+			r.ended = true
+			return nil
+		}
+		// Wait for flushOKs (or death notices) from the asked links.
+		waiting := len(asked)
+		for waiting > 0 {
+			sig := <-r.flushCh
+			if sig < 0 {
+				// A shard died while we were waiting for its flushOK. Only
+				// recover if it still owns unflushed streams — a notice for
+				// a link that owns nothing (or that a concurrent reader
+				// raced us on) must not spin up a spurious recovery.
+				idx := -1 - sig
+				owns := false
+				for _, st := range r.streams {
+					r.mu.Lock()
+					done := st.flushed
+					r.mu.Unlock()
+					if st.cur == idx && !done {
+						owns = true
+						break
+					}
+				}
+				if !owns {
+					continue
+				}
+				if err := r.recover(idx); err != nil {
+					return err
+				}
+				return r.Flush()
+			}
+			if asked[sig] {
+				asked[sig] = false
+				waiting--
+			}
+		}
+	}
+	return errors.New("fleet: flush did not converge")
+}
+
+// Streams returns the fleet size L.
+func (r *Router) Streams() int { return len(r.streams) }
+
+// Committed returns the corrections retained for stream i (router built
+// without a sink). Stable only after Flush.
+func (r *Router) Committed(i int) []stream.Correction {
+	if r.retain == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.retain[i]
+}
+
+// StreamReport returns stream i's merged ledger: its decoder's runtime
+// counters (from the flush ledger) plus its router-side chaos channel's.
+// Complete only after Flush.
+func (r *Router) StreamReport(i int) faults.Report {
+	r.mu.Lock()
+	rep := r.streams[i].ledger
+	r.mu.Unlock()
+	if ch := r.streams[i].ch; ch != nil {
+		rep.Merge(ch.Report())
+	}
+	return rep
+}
+
+// FaultReport merges every stream's ledger into one fleet-wide report —
+// the same identities as stream.Engine.FaultReport, now closed across
+// shard crashes, failovers and replays.
+func (r *Router) FaultReport() faults.Report {
+	var rep faults.Report
+	for i := range r.streams {
+		rep.Merge(r.StreamReport(i))
+	}
+	return rep
+}
+
+// Recoveries returns how many crash recoveries the router has completed,
+// and LastRecovery the most recent one's statistics.
+func (r *Router) Recoveries() int             { return r.recoveries }
+func (r *Router) LastRecovery() RecoveryStats { return r.lastRecovery }
+
+// WireBytes returns the total bytes written to and read from shard sockets.
+func (r *Router) WireBytes() (tx, rx uint64) { return r.wireTx.Load(), r.wireRx.Load() }
+
+// Rebalance re-homes streams back onto their preferred shards where
+// possible: for every dead link it attempts one reconnection, and every
+// revived (or already live) home shard adopts its displaced streams via the
+// usual checkpoint + replay, with the interim shard told to drop them
+// (msgClose) first. Call it after restarting a crashed shard process to
+// restore the original placement; streams whose home stays dead are left
+// where they are.
+func (r *Router) Rebalance() error {
+	if r.closed || r.ended {
+		return errors.New("fleet: router used after Flush or Close")
+	}
+	for _, l := range r.links {
+		if !l.up.Load() {
+			if err := r.connect(l); err != nil {
+				continue
+			}
+			fObs.reconnects.Inc(l.idx)
+		}
+	}
+	for _, st := range r.streams {
+		home := r.links[st.home]
+		if st.cur == st.home || !home.up.Load() {
+			continue
+		}
+		interim := r.links[st.cur]
+		// Tell the interim shard to drop the stream before the home shard
+		// adopts it, so a later fleet-wide flush cannot double-count it.
+		// The close and any later flush ride the same connection, so
+		// ordering is guaranteed; if the interim shard is dead the drop is
+		// implicit.
+		if interim.up.Load() {
+			if r.write(interim, msgClose, uint32(st.id), nil) == nil {
+				if err := r.flushLink(interim); err == nil {
+					// dropped cleanly
+				}
+			}
+		}
+		ok, _, plan, err := r.openOn(st, home)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			// Home refused (capacity); reopen on the interim shard.
+			st.cur = -1
+			if err := r.place(st); err != nil {
+				return err
+			}
+			continue
+		}
+		st.cur = st.home
+		if err := r.replay(st, home, plan); err != nil {
+			st.cur = -1
+			if err := r.place(st); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Close tears down every shard session. It does not flush; call Flush first
+// for a clean end of stream.
+func (r *Router) Close() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	for _, l := range r.links {
+		l.wmu.Lock()
+		gen := l.gen
+		up := l.up.Load()
+		conn := l.conn
+		l.wmu.Unlock()
+		if up {
+			r.markDead(l, gen, errors.New("fleet: router closed"), false)
+		} else if conn != nil {
+			conn.Close()
+		}
+	}
+}

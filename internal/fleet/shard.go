@@ -1,0 +1,289 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+
+	"afs/internal/cda"
+	"afs/internal/faults"
+	"afs/internal/stream"
+)
+
+// DefaultCheckpointEvery is the per-stream checkpoint cadence in rounds. It
+// bounds the router's replay journal (and so the worst-case recovery work
+// per stream) without putting a snapshot on every round's wire.
+const DefaultCheckpointEvery = 64
+
+// ShardConfig configures one decode shard.
+type ShardConfig struct {
+	// Blocks is the number of CDA decoder blocks the shard is provisioned
+	// with; its admission cap is cda.AdmissionCap(Blocks, CDA) streams, and
+	// opens past the cap are refused so the router places the stream on a
+	// shard that still has a Gr-Gen slot instead of overcommitting the
+	// shared pipeline units. Blocks <= 0 disables admission control.
+	Blocks int
+	// CDA is the block configuration behind the cap; the zero value is the
+	// paper's N=2 design point.
+	CDA cda.Config
+	// CheckpointEvery is the per-stream checkpoint cadence in rounds; 0
+	// selects DefaultCheckpointEvery.
+	CheckpointEvery int
+	// Logf, when non-nil, receives session lifecycle messages (accepted,
+	// closed, protocol errors). The decode path never logs.
+	Logf func(format string, args ...any)
+}
+
+func (c ShardConfig) ckptEvery() int {
+	if c.CheckpointEvery <= 0 {
+		return DefaultCheckpointEvery
+	}
+	return c.CheckpointEvery
+}
+
+func (c ShardConfig) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// Serve runs a decode shard on l until the listener is closed, handling one
+// router session at a time. A session owns its streams exclusively: when the
+// connection drops (router crash, network fault) the shard discards all
+// per-stream state and the next session starts empty — the router holds the
+// checkpoints and the round journal, so it re-opens each stream with a
+// snapshot and replays the tail. That asymmetry is deliberate: shards are
+// the crash domain under test, and keeping them stateless across sessions
+// means a kill -9'd shard and a cleanly restarted one look identical to the
+// recovery protocol.
+func Serve(l net.Listener, cfg ShardConfig) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		cfg.logf("fleet shard: session from %v", conn.RemoteAddr())
+		if err := session(conn, cfg); err != nil && err != io.EOF {
+			cfg.logf("fleet shard: session ended: %v", err)
+		}
+		conn.Close()
+	}
+}
+
+// shardStream is one logical-qubit stream resident on the shard.
+type shardStream struct {
+	dec     *stream.Decoder
+	per     int
+	rounds  uint64 // rounds ingested (resumes from the adopted checkpoint)
+	corrSeq uint64 // corrections emitted (resumes likewise)
+	ckptAt  uint64 // rounds at the last checkpoint sent
+	out     []int32
+}
+
+// shardSession handles one router connection. All message handling is
+// single-goroutine, so per-stream decoding is trivially deterministic: the
+// shard's outputs are a pure function of the message sequence it reads.
+type shardSession struct {
+	cfg     ShardConfig
+	cap     int
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	rbuf    []byte // envelope read buffer
+	wbuf    []byte // envelope write scratch
+	pbuf    []byte // payload write scratch
+	streams map[uint32]*shardStream
+	werr    error // sticky write error, surfaced at the next message boundary
+}
+
+func (s *shardSession) send(typ uint8, id uint32, payload []byte) error {
+	s.wbuf = appendEnvelope(s.wbuf[:0], typ, id, payload)
+	_, err := s.bw.Write(s.wbuf)
+	return err
+}
+
+func session(conn net.Conn, cfg ShardConfig) error {
+	s := &shardSession{
+		cfg:     cfg,
+		cap:     cda.AdmissionCap(cfg.Blocks, cfg.CDA),
+		br:      bufio.NewReaderSize(conn, 1<<16),
+		bw:      bufio.NewWriterSize(conn, 1<<16),
+		streams: map[uint32]*shardStream{},
+	}
+	for {
+		// Everything queued for the router goes out before the session
+		// blocks on an empty connection: corrections, checkpoints and
+		// heartbeat replies must not sit in the buffer while both sides
+		// wait on each other.
+		if s.br.Buffered() == 0 {
+			if err := s.bw.Flush(); err != nil {
+				return err
+			}
+		}
+		if s.werr != nil {
+			return s.werr
+		}
+		env, err := readEnvelope(s.br, &s.rbuf)
+		if err != nil {
+			return err
+		}
+		if err := s.handle(env); err != nil {
+			return err
+		}
+	}
+}
+
+func (s *shardSession) handle(env envelope) error {
+	switch env.typ {
+	case msgOpen:
+		return s.handleOpen(env)
+	case msgRound:
+		return s.handleRound(env)
+	case msgClose:
+		// The stream moved to another shard (rebalance): drop it without a
+		// flush — its state travels in the router's checkpoint + journal,
+		// and flushing here would double-count its ledger.
+		delete(s.streams, env.stream)
+		return nil
+	case msgFlush:
+		return s.handleFlush()
+	case msgPing:
+		return s.send(msgPong, env.stream, env.payload)
+	default:
+		return fmt.Errorf("fleet: shard got unexpected message type %d", env.typ)
+	}
+}
+
+func (s *shardSession) handleOpen(env envelope) error {
+	var op openPayload
+	if err := json.Unmarshal(env.payload, &op); err != nil {
+		return fmt.Errorf("fleet: malformed open payload: %w", err)
+	}
+	id := env.stream
+	if _, dup := s.streams[id]; dup {
+		return s.refuse(id, "stream already open on this shard")
+	}
+	if s.cap > 0 && len(s.streams) >= s.cap {
+		fObs.refusals.Inc(0)
+		return s.refuse(id, fmt.Sprintf("admission cap %d streams reached (%d CDA blocks)", s.cap, s.cfg.Blocks))
+	}
+	dec, err := stream.New(op.Distance, op.Window, op.Commit)
+	if err != nil {
+		return s.refuse(id, err.Error())
+	}
+	if err := dec.SetRobust(stream.Robust{DeadlineNS: op.DeadlineNS, QueueCap: op.QueueCap}); err != nil {
+		return s.refuse(id, err.Error())
+	}
+	if len(op.Snapshot) > 0 {
+		var snap stream.Snapshot
+		if err := json.Unmarshal(op.Snapshot, &snap); err != nil {
+			return s.refuse(id, "malformed snapshot: "+err.Error())
+		}
+		if err := dec.Restore(snap); err != nil {
+			return s.refuse(id, err.Error())
+		}
+	}
+	st := &shardStream{
+		dec:     dec,
+		per:     op.Distance * (op.Distance - 1),
+		rounds:  op.Rounds,
+		corrSeq: op.CorrSeq,
+		ckptAt:  op.Rounds,
+	}
+	// The sink regenerates deterministic per-stream sequence numbers: a
+	// replayed round re-emits its corrections with the original seq, which
+	// is exactly what lets the router dedup them.
+	st.dec.SetSink(func(c stream.Correction) {
+		st.corrSeq++
+		s.pbuf = appendCorrPayload(s.pbuf[:0], st.corrSeq, c)
+		if err := s.send(msgCorr, id, s.pbuf); err != nil && s.werr == nil {
+			s.werr = err
+		}
+	})
+	s.streams[id] = st
+	return s.send(msgOpenOK, id, nil)
+}
+
+func (s *shardSession) refuse(id uint32, reason string) error {
+	return s.send(msgRefuse, id, []byte(reason))
+}
+
+func (s *shardSession) handleRound(env envelope) error {
+	st, ok := s.streams[env.stream]
+	if !ok {
+		return fmt.Errorf("fleet: round for unknown stream %d", env.stream)
+	}
+	seq, events, erased, pen, err := decodeRoundPayload(env.payload, st.per, st.out[:0])
+	if err != nil {
+		return fmt.Errorf("fleet: stream %d round: %w", env.stream, err)
+	}
+	st.out = events[:0]
+	// End-to-end ordering check: the round-frame sequence number must match
+	// the stream's ingest count. A gap here means the transport delivered
+	// out of order or the router's journal drifted — either way decoding on
+	// would silently corrupt, so the session dies and recovery replays.
+	if seq != uint32(st.rounds) {
+		return fmt.Errorf("fleet: stream %d got round seq %d, want %d", env.stream, seq, uint32(st.rounds))
+	}
+	st.dec.AddPenaltyNS(pen)
+	if erased {
+		st.dec.PushErased()
+	} else if err := st.dec.PushLayer(events); err != nil {
+		return fmt.Errorf("fleet: stream %d: %w", env.stream, err)
+	}
+	st.rounds++
+	if s.werr != nil {
+		return s.werr
+	}
+	if st.rounds-st.ckptAt >= uint64(s.cfg.ckptEvery()) {
+		return s.checkpoint(env.stream, st)
+	}
+	return nil
+}
+
+// checkpoint snapshots the stream and ships it to the router, which trims
+// its replay journal up to the snapshot's round count on receipt. The
+// corrections the sink emitted while decoding this round precede the
+// checkpoint on the wire, so by the time the router processes it, every
+// correction the snapshot assumes delivered has been.
+func (s *shardSession) checkpoint(id uint32, st *shardStream) error {
+	snap, err := json.Marshal(st.dec.Snapshot())
+	if err != nil {
+		return err
+	}
+	st.ckptAt = st.rounds
+	s.pbuf = appendCkptPayload(s.pbuf[:0], st.rounds, st.corrSeq, snap)
+	return s.send(msgCheckpoint, id, s.pbuf)
+}
+
+// handleFlush ends every stream on the shard: remaining buffered layers are
+// decoded as closed windows (their corrections go out as usual), and the
+// per-stream decoder ledgers are returned in one msgFlushOK. Streams are
+// flushed in ascending id so the correction interleaving on the wire is
+// deterministic; the per-stream state is discarded afterwards — a session
+// that flushed a stream is done with it, and the router re-opens if it
+// wants more.
+func (s *shardSession) handleFlush() error {
+	ids := make([]uint32, 0, len(s.streams))
+	for id := range s.streams {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ledgers := make(map[uint32]faults.Report, len(ids))
+	for _, id := range ids {
+		st := s.streams[id]
+		st.dec.Flush()
+		if s.werr != nil {
+			return s.werr
+		}
+		ledgers[id] = st.dec.Report()
+		delete(s.streams, id)
+	}
+	blob, err := json.Marshal(ledgers)
+	if err != nil {
+		return err
+	}
+	return s.send(msgFlushOK, 0, blob)
+}

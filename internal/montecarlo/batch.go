@@ -149,7 +149,41 @@ func (k *kernel) run(n uint64) chunkTally {
 					}
 					continue
 				}
-				if class, p, ok := k.tri.ClassifySyndrome(df); ok {
+				if k.peel && len(df) >= 3 {
+					// Multi-defect syndromes go straight to the partial-
+					// residual decomposition, exactly like the bit-plane
+					// gather path: PeelResidual's certified-whole set
+					// strictly contains classifyMulti's with identical
+					// parity (test-enforced containment), so one pass
+					// replaces the classify-then-peel double scan, peels
+					// certified components off whatever remains ambiguous,
+					// and hands the decoder only the residual (see
+					// core.Triage.PeelResidual).
+					df0 := len(df)
+					pp, res, comps := k.tri.PeelResidual(df)
+					t.peeled += uint64(comps)
+					if pp {
+						par = !par
+					}
+					if len(res) == 0 {
+						// Everything certified: a pure pair/single/duo
+						// decomposition resolved without a decoder walk.
+						t.multi++
+						t.peelResolved++
+						if par {
+							t.failures++
+						}
+						if k.failLog != nil {
+							k.failLog = append(k.failLog, par)
+						}
+						continue
+					}
+					if len(res) < df0 {
+						t.residual++
+						t.resHist[resBucket(len(res))]++
+					}
+					df = res
+				} else if class, p, ok := k.tri.ClassifySyndrome(df); ok {
 					switch class {
 					case core.TriageW1:
 						t.w1++
@@ -166,37 +200,6 @@ func (k *kernel) run(n uint64) chunkTally {
 						k.failLog = append(k.failLog, fail)
 					}
 					continue
-				}
-				if k.peel {
-					// The whole syndrome punted; peel off the components the
-					// radius-bound certificate still certifies, fold their
-					// closed-form parity, and hand the decoder only the
-					// ambiguous residual (see core.Triage.PeelResidual).
-					df0 := len(df)
-					if pp, res, comps := k.tri.PeelResidual(df); comps > 0 {
-						t.peeled += uint64(comps)
-						if pp {
-							par = !par
-						}
-						df = res
-					}
-					if len(df) == 0 {
-						// Everything certified: a pure pair/single/duo
-						// decomposition resolved without a decoder walk.
-						t.multi++
-						t.peelResolved++
-						if par {
-							t.failures++
-						}
-						if k.failLog != nil {
-							k.failLog = append(k.failLog, par)
-						}
-						continue
-					}
-					if len(df) < df0 {
-						t.residual++
-						t.resHist[resBucket(len(df))]++
-					}
 				}
 			}
 			t.full++

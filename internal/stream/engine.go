@@ -132,7 +132,7 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		e.chans = make([]*faults.Channel, cfg.Streams)
 		for i := range e.chans {
 			c := *cfg.Chaos
-			c.Seed = cfg.Chaos.Seed + uint64(i)*0x9e3779b9
+			c.Seed = faults.StreamSeed(cfg.Chaos.Seed, i)
 			e.chans[i] = faults.NewChannel(per, c)
 		}
 	}

@@ -1,0 +1,247 @@
+package stream
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"afs/internal/faults"
+	"afs/internal/noise"
+)
+
+// feedRounds pushes rounds [from, to) of a seeded per-round sampler through
+// the decoder, carrying each through ch (when non-nil) exactly as a fleet
+// link does.
+func feedRounds(t *testing.T, d *Decoder, sampler *noise.RoundSampler, ch *faults.Channel, n int) {
+	t.Helper()
+	for r := 0; r < n; r++ {
+		ev := sampler.SampleRound()
+		if ch != nil {
+			delivered, erased, pen := ch.Transfer(ev)
+			d.AddPenaltyNS(pen)
+			if erased {
+				d.PushErased()
+				continue
+			}
+			ev = delivered
+		}
+		if err := d.PushLayer(ev); err != nil {
+			t.Fatalf("push: %v", err)
+		}
+	}
+}
+
+// TestSnapshotRestoreBitIdentical proves the checkpoint contract: a fresh
+// decoder restored from a mid-stream snapshot and fed the remaining rounds
+// commits byte-identical corrections and reports an identical ledger,
+// including under deadline enforcement, backpressure, and link faults, and
+// including snapshots taken at every possible ring fill level.
+func TestSnapshotRestoreBitIdentical(t *testing.T) {
+	const d, rounds = 5, 160
+	cases := []struct {
+		name   string
+		robust Robust
+		chaos  *faults.Config
+	}{
+		{name: "plain"},
+		{name: "robust", robust: Robust{DeadlineNS: 350, QueueCap: 4}},
+		{name: "chaos+robust",
+			robust: Robust{DeadlineNS: 120, QueueCap: 2},
+			chaos: &faults.Config{Seed: 7, DropRate: 0.05, DuplicateRate: 0.03,
+				ReorderRate: 0.03, CorruptRate: 0.05, StallRate: 0.2, StallNS: 400},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for cut := 1; cut < rounds; cut += 13 {
+				per := d * (d - 1)
+
+				// Reference run: one decoder sees the whole stream.
+				ref, err := New(d, 0, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := ref.SetRobust(tc.robust); err != nil {
+					t.Fatal(err)
+				}
+				var refCorr []Correction
+				ref.SetSink(func(c Correction) { refCorr = append(refCorr, c) })
+				var ch *faults.Channel
+				if tc.chaos != nil {
+					ch = faults.NewChannel(per, *tc.chaos)
+				}
+				sampler := noise.NewRoundSampler(d, 0.02, 11, 1)
+				feedRounds(t, ref, sampler, ch, cut)
+				atCut := len(refCorr)
+				snap := ref.Snapshot()
+
+				// The snapshot crosses a wire in practice: round-trip JSON.
+				blob, err := json.Marshal(snap)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var wire Snapshot
+				if err := json.Unmarshal(blob, &wire); err != nil {
+					t.Fatal(err)
+				}
+
+				feedRounds(t, ref, sampler, ch, rounds-cut)
+				ref.Flush()
+				refRep := ref.Report()
+
+				// Restored run: a different decoder instance continues from
+				// the snapshot over the identical remaining rounds (replayed
+				// post-chaos, as a fleet journal stores them).
+				re, err := New(d, 0, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := re.SetRobust(tc.robust); err != nil {
+					t.Fatal(err)
+				}
+				var reCorr []Correction
+				re.SetSink(func(c Correction) { reCorr = append(reCorr, c) })
+				if err := re.Restore(wire); err != nil {
+					t.Fatalf("restore at cut %d: %v", cut, err)
+				}
+				ch2 := ch
+				sampler2 := sampler
+				if tc.chaos != nil {
+					// Replay the same link outcomes: rewind an identical
+					// channel+sampler pair and skip the first cut rounds.
+					ch2 = faults.NewChannel(per, *tc.chaos)
+					sampler2 = noise.NewRoundSampler(d, 0.02, 11, 1)
+					drop, err := New(d, 0, 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					feedRounds(t, drop, sampler2, ch2, cut)
+				} else {
+					sampler2 = noise.NewRoundSampler(d, 0.02, 11, 1)
+					drop, err := New(d, 0, 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					feedRounds(t, drop, sampler2, nil, cut)
+				}
+				feedRounds(t, re, sampler2, ch2, rounds-cut)
+				re.Flush()
+				reRep := re.Report()
+
+				if got, want := reCorr, refCorr[atCut:]; !sameCorrections(got, want) {
+					t.Fatalf("cut %d: corrections diverge: restored %d vs reference suffix %d", cut, len(got), len(want))
+				}
+				// The restored ledger must equal the reference's: windows,
+				// timeouts, degraded commits, shedding episodes — no drift
+				// and no double count across the checkpoint boundary.
+				if !reflect.DeepEqual(refRep, reRep) {
+					t.Fatalf("cut %d: ledger diverged:\nref  %+v\nrest %+v", cut, refRep, reRep)
+				}
+				if err := reRep.CheckFinal(); err != nil {
+					t.Fatalf("cut %d: restored ledger: %v", cut, err)
+				}
+			}
+		})
+	}
+}
+
+func sameCorrections(a, b []Correction) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSnapshotRestoreMidEpisode pins the mid-shedding-episode contract: a
+// snapshot taken while the backlog queue is inside an open shedding episode
+// restores with the episode still open, and the stream's eventual Flush
+// closes it exactly once — Sheds and Recoveries balance (CheckFinal), with
+// no phantom recovery from the restore itself.
+func TestSnapshotRestoreMidEpisode(t *testing.T) {
+	const d = 5
+	dec, err := New(d, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	robust := Robust{DeadlineNS: 50, QueueCap: 1}
+	if err := dec.SetRobust(robust); err != nil {
+		t.Fatal(err)
+	}
+	// Saturate the queue with injected stall penalties until it sheds.
+	sampler := noise.NewRoundSampler(d, 0.05, 3, 1)
+	fed := 0
+	for dec.queue.Sheds == 0 {
+		dec.AddPenaltyNS(5000)
+		if err := dec.PushLayer(sampler.SampleRound()); err != nil {
+			t.Fatal(err)
+		}
+		fed++
+		if fed > 10000 {
+			t.Fatal("queue never shed")
+		}
+	}
+	snap := dec.Snapshot()
+	if !snap.Queue.Shedding {
+		t.Fatal("snapshot not taken mid-episode")
+	}
+	if snap.Queue.Sheds != snap.Queue.Recoveries+1 {
+		t.Fatalf("expected exactly one open episode, got sheds=%d recoveries=%d",
+			snap.Queue.Sheds, snap.Queue.Recoveries)
+	}
+
+	re, err := New(d, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := re.SetRobust(robust); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := re.Report(); got.BacklogSheds != snap.Queue.Sheds || got.BacklogRecovers != snap.Queue.Recoveries {
+		t.Fatalf("restore perturbed episode counters: %+v vs queue %+v", got, snap.Queue)
+	}
+	re.Flush()
+	rep := re.Report()
+	if err := rep.CheckFinal(); err != nil {
+		t.Fatalf("flushed ledger after mid-episode restore: %v", err)
+	}
+	if rep.BacklogSheds != snap.Queue.Sheds || rep.BacklogRecovers != rep.BacklogSheds {
+		t.Fatalf("episode not closed exactly once: %+v", rep)
+	}
+}
+
+// TestRestoreRejectsMalformed exercises the validation guards: restoring
+// never partially applies a bad snapshot.
+func TestRestoreRejectsMalformed(t *testing.T) {
+	dec, err := New(5, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.PushLayer([]int32{3}); err != nil {
+		t.Fatal(err)
+	}
+	before := dec.Snapshot()
+
+	bad := []Snapshot{
+		{Distance: 7, Window: 7, Commit: 3}, // shape mismatch
+		{Distance: 5, Window: 5, Commit: 2, Layers: make([][]int32, 5), Erased: make([]bool, 5)}, // full window
+		{Distance: 5, Window: 5, Commit: 2, Layers: [][]int32{{99}}, Erased: []bool{false}},      // index range
+		{Distance: 5, Window: 5, Commit: 2, Layers: [][]int32{{1}}, Erased: []bool{}},            // flag count
+		{Distance: 5, Window: 5, Commit: 2, Base: -1},                                            // negative base
+	}
+	for i, s := range bad {
+		if err := dec.Restore(s); err == nil {
+			t.Fatalf("bad snapshot %d accepted", i)
+		}
+	}
+	if got := dec.Snapshot(); !reflect.DeepEqual(got, before) {
+		t.Fatalf("failed restore mutated decoder: %+v vs %+v", got, before)
+	}
+}

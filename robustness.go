@@ -161,7 +161,7 @@ func MeasureStreamRobustness(cfg StreamRobustnessConfig) (StreamRobustnessResult
 					dec.SetTrace(cfg.Trace, int32(i))
 				}
 				if ch != nil {
-					ch.Reset(cfg.Chaos.Seed + uint64(i)*0x9e3779b9)
+					ch.Reset(faults.StreamSeed(cfg.Chaos.Seed, i))
 				}
 				s.Sample(&trial)
 				for t := range layers {

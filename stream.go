@@ -73,6 +73,21 @@ func (s *StreamDecoder) Flush() []StreamCorrection { return s.inner.Flush() }
 // flagging a measurement error).
 func IsDataCorrection(c StreamCorrection) bool { return c.Kind == lattice.Spatial }
 
+// StreamSnapshot is a serializable checkpoint of a streaming decoder's
+// dynamic state. Restoring it into a decoder with the same configuration
+// and feeding the same subsequent rounds reproduces bit-identical
+// corrections — the property the fleet's crash recovery is built on.
+type StreamSnapshot = stream.Snapshot
+
+// Snapshot captures the decoder's dynamic state (buffered rounds, window
+// position, backpressure state, runtime ledger). The snapshot is
+// JSON-serializable and independent of the decoder it came from.
+func (s *StreamDecoder) Snapshot() StreamSnapshot { return s.inner.Snapshot() }
+
+// Restore replaces the decoder's dynamic state with a snapshot taken from a
+// decoder of the same configuration. On error the decoder is unchanged.
+func (s *StreamDecoder) Restore(snap StreamSnapshot) error { return s.inner.Restore(snap) }
+
 // StreamRoundSampler draws phenomenological noise round by round for one
 // logical qubit — the event shape StreamDecoder.PushRound consumes. Each
 // round every data qubit errs with probability p (accumulating until
