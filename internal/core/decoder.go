@@ -24,6 +24,7 @@ package core
 import (
 	"fmt"
 	"math/bits"
+	"slices"
 
 	"afs/internal/lattice"
 	"afs/internal/unionfind"
@@ -474,6 +475,16 @@ func (d *Decoder) growClusters() {
 			continue
 		}
 		d.Stats.GrowthIncrements += uint64(len(d.merged))
+		// Canonical merge schedule: process the round's fully-grown edges in
+		// ascending edge order, not discovery order. Within one round the set
+		// of crossing edges is fixed (growth is additive and saturating, so
+		// which edges reach 2 does not depend on sweep order), but the union
+		// sequence decides which spanning tree the peeler walks. Fixing the
+		// sequence to ascending edge index makes the whole decode a pure
+		// function of the per-round support — the contract that lets the
+		// tile-parallel engine (tile.go) reproduce this decoder bit for bit
+		// from concurrently discovered merges.
+		slices.Sort(d.merged)
 		for _, e := range d.merged {
 			ed := &d.G.Edges[e]
 			ru, rv := d.find(ed.U), d.find(ed.V)

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"afs/internal/obs"
+)
+
+// tileCounters publishes the tile-parallel engine's live profile: how many
+// heavy windows it decoded, how much of the partition they touched, how
+// often clusters crossed tile boundaries (the merges only the sequential
+// reconciliation phase may apply), and the per-decode critical-path
+// speedup distribution — the quantity the heavy-window perf floor pins.
+// Flushing is decode-granular, mirroring the Monte-Carlo engine's
+// chunk-granular pattern.
+type tileCounters struct {
+	decodes        *obs.Counter
+	tilesTouched   *obs.Counter
+	boundaryMerges *obs.Counter
+	reconRounds    *obs.Counter
+	speedup        *obs.Histogram
+}
+
+func (o *tileCounters) flush(shard int, st *TileStats) {
+	o.decodes.Inc(shard)
+	if st.TilesTouched != 0 {
+		o.tilesTouched.Add(shard, uint64(st.TilesTouched))
+	}
+	if st.BoundaryMerges != 0 {
+		o.boundaryMerges.Add(shard, uint64(st.BoundaryMerges))
+	}
+	if st.ReconcileRounds != 0 {
+		o.reconRounds.Add(shard, uint64(st.ReconcileRounds))
+	}
+	if st.CritUnits > 0 {
+		o.speedup.Observe(shard, float64(st.SeqUnits)/float64(st.CritUnits))
+	}
+}
+
+var (
+	tileObs = func() *tileCounters {
+		reg := obs.Default()
+		const s = obs.DefaultShards
+		return &tileCounters{
+			decodes: reg.NewCounter("afs_uf_tile_decodes_total",
+				"syndromes decoded by the tile-parallel Union-Find engine", s),
+			tilesTouched: reg.NewCounter("afs_uf_tile_tiles_touched_total",
+				"tiles that held cluster state during tile-parallel decodes", s),
+			boundaryMerges: reg.NewCounter("afs_uf_tile_boundary_merges_total",
+				"support edges merged across a tile boundary in reconciliation", s),
+			reconRounds: reg.NewCounter("afs_uf_tile_reconcile_rounds_total",
+				"growth rounds that required cross-tile reconciliation", s),
+			speedup: reg.NewHistogram("afs_uf_tile_speedup",
+				"per-decode critical-path model speedup (sequential units / slowest-tile units)",
+				0, 16, 64, s),
+		}
+	}()
+	tileShardSeq atomic.Uint32
+)
+
+func nextTileShard() int { return int(tileShardSeq.Add(1) - 1) }

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"afs/internal/lattice"
+	"afs/internal/noise"
+)
+
+// TestPerfSmokeTileHeavyWindow is the CI perf-smoke gate for the tile
+// engine: at d=21 near threshold (the heavy-window regime the engine
+// exists for) the model critical-path speedup — SeqUnits over CritUnits,
+// the gain of one growth unit per tile over a single sequential unit —
+// must clear a pinned floor. Unlike the throughput floors in
+// internal/montecarlo this metric is fully deterministic (the worker
+// count and host speed never enter it, test-enforced by
+// TestTileWorkerCountDeterminism), so the floor can sit close to the
+// measured value without CI jitter risk: dev machines measure ~2.4x
+// against a floor of 1.5x. Enabled by AFS_PERF_SMOKE=1.
+func TestPerfSmokeTileHeavyWindow(t *testing.T) {
+	if os.Getenv("AFS_PERF_SMOKE") == "" {
+		t.Skip("set AFS_PERF_SMOKE=1 to run the pinned-floor perf smoke")
+	}
+	const (
+		d            = 21
+		p            = 0.03 // near threshold: every window is heavy
+		syndromes    = 32
+		floorSpeedup = 1.5
+	)
+	g := lattice.New3D(d, d)
+	s := noise.NewSampler(g, p, 9021, 1)
+	td := NewTileDecoder(g, Options{LeanStats: true}, TileConfig{})
+	var trial noise.Trial
+	for i := 0; i < syndromes; i++ {
+		s.Sample(&trial)
+		td.Decode(trial.Defects)
+	}
+	tot := td.Totals()
+	if tot.CritUnits <= 0 {
+		t.Fatalf("no critical-path work recorded (seq=%d crit=%d)", tot.SeqUnits, tot.CritUnits)
+	}
+	speedup := float64(tot.SeqUnits) / float64(tot.CritUnits)
+	t.Logf("d=%d p=%g: %d seq units / %d crit units = %.2fx model speedup (%d tiles)",
+		d, p, tot.SeqUnits, tot.CritUnits, speedup, tot.Tiles)
+	if speedup < floorSpeedup {
+		t.Fatalf("model critical-path speedup %.3fx below pinned floor %.1fx", speedup, floorSpeedup)
+	}
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"afs/internal/lattice"
+	"afs/internal/noise"
+)
+
+// tileGrids are the tier-1 (d, p) points the parity suite sweeps, p chosen
+// near threshold so syndromes are heavy — the regime the tile engine
+// exists for — plus a sparse point to exercise the mostly-idle partition.
+var tileGrids = []struct {
+	d int
+	p float64
+}{
+	{5, 0.01},
+	{5, 0.08},
+	{7, 0.03},
+	{7, 0.10},
+	{11, 0.08},
+}
+
+// TestTileParityVsSequential is the bit-identity contract: for every tile
+// size and worker count, the tile-parallel decode of every syndrome equals
+// the sequential full-pipeline decode slice for slice — same correction
+// edges in the same order — and the peeled cluster profiles agree.
+func TestTileParityVsSequential(t *testing.T) {
+	for _, grid := range tileGrids {
+		g := lattice.New3D(grid.d, grid.d)
+		seq := NewDecoder(g, Options{})
+		s := noise.NewSampler(g, grid.p, 1234, uint64(grid.d))
+		var trials []([]int32)
+		var trial noise.Trial
+		for i := 0; i < 60; i++ {
+			s.Sample(&trial)
+			trials = append(trials, append([]int32(nil), trial.Defects...))
+		}
+		for _, size := range []int{3, 5, 100} {
+			for _, workers := range []int{1, 2, 5} {
+				td := NewTileDecoder(g, Options{}, TileConfig{TileSize: size, Workers: workers})
+				for i, defects := range trials {
+					want := append([]int32(nil), seq.Decode(defects)...)
+					got := td.Decode(defects)
+					if !reflect.DeepEqual(got, want) && (len(got) != 0 || len(want) != 0) {
+						t.Fatalf("d=%d p=%g size=%d workers=%d trial %d: tile correction %v, sequential %v",
+							grid.d, grid.p, size, workers, i, got, want)
+					}
+					if !reflect.DeepEqual(seq.Stats.Clusters, td.Stats().Clusters) {
+						t.Fatalf("d=%d p=%g size=%d workers=%d trial %d: cluster profiles diverge\n tile %+v\n seq  %+v",
+							grid.d, grid.p, size, workers, i, td.Stats().Clusters, seq.Stats.Clusters)
+					}
+					if seq.Stats.GrowthRounds != td.Stats().GrowthRounds ||
+						seq.Stats.SupportEdges != td.Stats().SupportEdges {
+						t.Fatalf("d=%d p=%g size=%d workers=%d trial %d: growth profile diverges (rounds %d/%d, support %d/%d)",
+							grid.d, grid.p, size, workers, i,
+							td.Stats().GrowthRounds, seq.Stats.GrowthRounds,
+							td.Stats().SupportEdges, seq.Stats.SupportEdges)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTileWorkerCountDeterminism pins the stronger half of the contract:
+// not only the corrections but the deterministic work meters (SeqUnits,
+// CritUnits, boundary merges) are identical across worker counts, so the
+// critical-path speedup the perf floor pins cannot depend on scheduling.
+func TestTileWorkerCountDeterminism(t *testing.T) {
+	g := lattice.New3D(11, 11)
+	s := noise.NewSampler(g, 0.08, 99, 11)
+	var trials []([]int32)
+	var trial noise.Trial
+	for i := 0; i < 40; i++ {
+		s.Sample(&trial)
+		trials = append(trials, append([]int32(nil), trial.Defects...))
+	}
+	type profile struct {
+		corr  []int32
+		stats TileStats
+	}
+	var base []profile
+	for _, workers := range []int{1, 2, 3, 8} {
+		td := NewTileDecoder(g, Options{LeanStats: true}, TileConfig{TileSize: 4, Workers: workers})
+		for i, defects := range trials {
+			corr := append([]int32(nil), td.Decode(defects)...)
+			st := td.LastStats()
+			st.Speedup = 0 // float of the two int64s; compare the integers
+			if workers == 1 {
+				base = append(base, profile{corr, st})
+				continue
+			}
+			if !reflect.DeepEqual(corr, base[i].corr) {
+				t.Fatalf("workers=%d trial %d: correction differs from single-worker run", workers, i)
+			}
+			if st != base[i].stats {
+				t.Fatalf("workers=%d trial %d: tile profile differs from single-worker run\n got  %+v\n want %+v",
+					workers, i, st, base[i].stats)
+			}
+		}
+	}
+}
+
+// TestTileArbitraryDefectSets extends the decoder's central invariant to
+// the tile engine: for ANY defect set, it terminates and its correction
+// reproduces the syndrome exactly.
+func TestTileArbitraryDefectSets(t *testing.T) {
+	g := lattice.New3D(5, 5)
+	td := NewTileDecoder(g, Options{}, TileConfig{TileSize: 2, Workers: 4})
+	f := func(seed uint64, kRaw uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 7))
+		k := int(kRaw) % (g.V / 2)
+		seen := make(map[int32]bool, k)
+		var defects []int32
+		for len(defects) < k {
+			v := int32(rng.IntN(g.V))
+			if !seen[v] {
+				seen[v] = true
+				defects = append(defects, v)
+			}
+		}
+		sortInt32(defects)
+		corr := td.Decode(defects)
+		got := SyndromeOf(g, corr)
+		return reflect.DeepEqual(got, defects) || (len(got) == 0 && len(defects) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTileWindowGraphParity checks the contract on the open-time-boundary
+// window graphs the streaming punt path decodes.
+func TestTileWindowGraphParity(t *testing.T) {
+	g := lattice.New3DWindow(7, 9)
+	seq := NewDecoder(g, Options{LeanStats: true})
+	td := NewTileDecoder(g, Options{LeanStats: true}, TileConfig{TileSize: 3, Workers: 3})
+	s := noise.NewSampler(g, 0.06, 5, 5)
+	var trial noise.Trial
+	for i := 0; i < 80; i++ {
+		s.Sample(&trial)
+		want := append([]int32(nil), seq.Decode(trial.Defects)...)
+		got := td.Decode(trial.Defects)
+		if !reflect.DeepEqual(got, want) && (len(got) != 0 || len(want) != 0) {
+			t.Fatalf("window trial %d: tile %v, sequential %v", i, got, want)
+		}
+	}
+}
+
+// TestTileEdgeCases exercises the empty syndrome, a lone boundary-adjacent
+// defect, and decoder reuse across alternating heavy and trivial decodes.
+func TestTileEdgeCases(t *testing.T) {
+	g := lattice.New3D(5, 5)
+	td := NewTileDecoder(g, Options{}, TileConfig{TileSize: 3, Workers: 2})
+	if corr := td.Decode(nil); len(corr) != 0 {
+		t.Fatalf("empty syndrome produced correction %v", corr)
+	}
+	if st := td.LastStats(); st.TilesTouched != 0 || st.SeqUnits != 0 {
+		t.Fatalf("empty syndrome touched tiles: %+v", st)
+	}
+	seq := NewDecoder(g, Options{})
+	single := []int32{0} // corner ancilla: one growth round to the boundary
+	heavy := func() []int32 {
+		var out []int32
+		for v := int32(0); v < int32(g.V); v += 3 {
+			out = append(out, v)
+		}
+		return out
+	}()
+	for i := 0; i < 4; i++ {
+		for _, defects := range [][]int32{single, heavy, nil, single} {
+			want := append([]int32(nil), seq.Decode(defects)...)
+			got := td.Decode(defects)
+			if !reflect.DeepEqual(got, want) && (len(got) != 0 || len(want) != 0) {
+				t.Fatalf("reuse round %d: tile %v, sequential %v", i, got, want)
+			}
+		}
+	}
+}
+
+// TestTileStatsSanity checks the tile-level meters on a heavy syndrome:
+// multiple tiles touched, cross-tile merges observed and reconciled, and a
+// critical-path advantage over the sequential unit (the model quantity
+// BENCH_9 and the CI floor consume).
+func TestTileStatsSanity(t *testing.T) {
+	g := lattice.New3D(11, 11)
+	td := NewTileDecoder(g, Options{LeanStats: true}, TileConfig{TileSize: 4, Workers: 4})
+	s := noise.NewSampler(g, 0.08, 77, 3)
+	var trial noise.Trial
+	for i := 0; i < 30; i++ {
+		s.Sample(&trial)
+		td.Decode(trial.Defects)
+	}
+	tot := td.Totals()
+	if tot.Tiles != 9 { // ceil(10/4) x ceil(11/4) = 3 x 3
+		t.Fatalf("partition has %d tiles, want 9", tot.Tiles)
+	}
+	if tot.TilesTouched == 0 || tot.BoundaryMerges == 0 || tot.ReconcileRounds == 0 {
+		t.Fatalf("heavy syndromes left tile meters empty: %+v", tot)
+	}
+	if tot.SeqUnits <= tot.CritUnits {
+		t.Fatalf("no critical-path advantage on heavy syndromes: %+v", tot)
+	}
+	if tot.Speedup <= 1 {
+		t.Fatalf("aggregate model speedup %.2f, want > 1", tot.Speedup)
+	}
+}

@@ -1,0 +1,140 @@
+package fleet
+
+import (
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// silentShard speaks just enough of the wire protocol to look perfectly
+// healthy — it admits every open and answers every ping — but swallows
+// rounds without decoding, so it never checkpoints and never delivers a
+// correction. This is the stalled-but-alive failure mode (wedged decode
+// loop, kill -STOP) that neither socket errors nor heartbeats detect: only
+// the journal byte cap notices the lack of progress.
+type silentShard struct {
+	t    *testing.T
+	addr string
+	ln   net.Listener
+
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func newSilentShard(t *testing.T) *silentShard {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &silentShard{t: t, addr: ln.Addr().String(), ln: ln}
+	go s.serve()
+	t.Cleanup(s.close)
+	return s
+}
+
+func (s *silentShard) serve() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		s.conns = append(s.conns, conn)
+		s.mu.Unlock()
+		go s.session(conn)
+	}
+}
+
+// session drains the router's messages (so TCP backpressure never blocks
+// the router's writes) and replies only to opens and pings.
+func (s *silentShard) session(conn net.Conn) {
+	var rbuf, wbuf []byte
+	for {
+		env, err := readEnvelope(conn, &rbuf)
+		if err != nil {
+			return
+		}
+		switch env.typ {
+		case msgOpen:
+			wbuf = appendEnvelope(wbuf[:0], msgOpenOK, env.stream, nil)
+		case msgPing:
+			wbuf = appendEnvelope(wbuf[:0], msgPong, 0, nil)
+		default:
+			continue // rounds, flushes, closes: into the void
+		}
+		if _, err := conn.Write(wbuf); err != nil {
+			return
+		}
+	}
+}
+
+func (s *silentShard) close() {
+	s.ln.Close()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.conns {
+		c.Close()
+	}
+}
+
+// TestJournalBoundedWithSilentShard is the regression test for the
+// unbounded replay journal: a stream homed on a shard that accepts rounds
+// but never checkpoints must not grow the router's journal without limit.
+// The byte cap sheds the silent shard, the stream fails over to the
+// survivor with its journal replayed intact, and the delivered corrections
+// stay bit-identical to an uninterrupted in-process run.
+func TestJournalBoundedWithSilentShard(t *testing.T) {
+	const (
+		d      = 5
+		rounds = 400
+		p      = 0.05
+		seed   = uint64(7)
+		budget = 8 << 10
+	)
+	silent := newSilentShard(t)
+	healthy := newTestShard(t, ShardConfig{CheckpointEvery: 16})
+	cfg := Config{
+		Network: "tcp", Shards: []string{silent.addr, healthy.addr},
+		Streams: 1, Distance: d,
+		JournalMaxBytes:   budget,
+		ReconnectAttempts: -1, // shed straight to the survivor
+		HeartbeatEvery:    -1, // liveness is not what catches this shard
+	}
+	wantCorrs, _ := runEngine(t, cfg, rounds, seed, p, []int{rounds})
+
+	r, err := Dial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	feed := feedFrom(cfg.Streams, d, p, seed)
+	maxBytes := 0
+	for done := 0; done < rounds; done += 16 {
+		if err := r.RunRounds(16, feed); err != nil {
+			t.Fatal(err)
+		}
+		if _, b := r.JournalStats(0); b > maxBytes {
+			maxBytes = b
+		}
+	}
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The hard bound: the configured cap plus one round's worth of slack
+	// for the entry that trips the threshold.
+	if limit := budget + 512; maxBytes > limit {
+		t.Fatalf("journal reached %d bytes, want <= %d (cap %d)", maxBytes, limit, budget)
+	}
+	if r.Recoveries() == 0 {
+		t.Fatal("silent shard was never shed — journal cap did not fire")
+	}
+	if rec := r.LastRecovery(); rec.Reconnected {
+		t.Fatalf("expected failover to the survivor, got reconnection: %+v", rec)
+	}
+	if got := r.Committed(0); !reflect.DeepEqual(got, wantCorrs[0]) {
+		t.Fatalf("corrections diverge after journal shed: got %d, want %d", len(got), len(wantCorrs[0]))
+	}
+}

@@ -27,6 +27,7 @@ type fleetObs struct {
 	hbTimeouts   *obs.Counter // crashes declared by heartbeat loss specifically
 	refusals     *obs.Counter // admission refusals (CDA block capacity)
 	shedWindows  *obs.Counter // rounds shed by shard-side backpressure (from flush ledgers)
+	journalSheds *obs.Counter // sessions shed for exceeding the replay-journal byte cap
 	wireTx       *obs.Counter // bytes written to shard sockets
 	wireRx       *obs.Counter // bytes read from shard sockets
 }
@@ -47,6 +48,7 @@ var (
 			hbTimeouts:   reg.NewCounter("afs_fleet_heartbeat_timeouts_total", "shard crashes declared by heartbeat loss", s),
 			refusals:     reg.NewCounter("afs_fleet_admission_refusals_total", "stream opens refused by CDA block admission", s),
 			shedWindows:  reg.NewCounter("afs_fleet_shed_rounds_total", "rounds shed by shard-side backpressure (folded in at flush)", s),
+			journalSheds: reg.NewCounter("afs_fleet_journal_shed_sessions_total", "shard sessions shed for exceeding the replay-journal byte cap", s),
 			wireTx:       reg.NewCounter("afs_fleet_wire_tx_bytes_total", "bytes written to shard sockets", s),
 			wireRx:       reg.NewCounter("afs_fleet_wire_rx_bytes_total", "bytes read from shard sockets", s),
 		}

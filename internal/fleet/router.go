@@ -61,6 +61,21 @@ type Config struct {
 
 	// DialTimeout bounds each connection attempt (0 selects 2s).
 	DialTimeout time.Duration
+
+	// JournalMaxBytes caps each stream's replay journal (0 selects 4 MiB;
+	// negative disables the cap). The journal only trims on shard
+	// checkpoints, so a shard that keeps accepting rounds without ever
+	// checkpointing — stalled decode loop, wedged disk, a kill -STOP —
+	// would otherwise grow the router's memory without bound while the
+	// socket and heartbeats stay healthy. Crossing the cap first gives the
+	// shard a bounded wait to deliver a trimming checkpoint (it may simply
+	// be catching up on a replayed journal); if the journal stays over
+	// budget the laggard is shed: the session is declared dead exactly like a crash, and the
+	// usual recovery (reconnect or failover, checkpoint restore, journal
+	// replay) moves its streams to a shard that makes progress. No rounds
+	// are dropped — the journal survives intact through the failover and
+	// trims as soon as the adopting shard checkpoints.
+	JournalMaxBytes int
 }
 
 func (c Config) reconnectAttempts() int {
@@ -101,6 +116,26 @@ func (c Config) dialTimeout() time.Duration {
 	return c.DialTimeout
 }
 
+func (c Config) journalMaxBytes() int {
+	if c.JournalMaxBytes < 0 {
+		return 0 // unlimited
+	}
+	if c.JournalMaxBytes == 0 {
+		return 4 << 20
+	}
+	return c.JournalMaxBytes
+}
+
+// journalEntryCost is the router's accounting charge for one replay-journal
+// entry: the entry struct and slice header overhead plus four bytes per
+// retained event. Charged on append, refunded on checkpoint trim.
+func journalEntryCost(events []int32) int { return 48 + 4*len(events) }
+
+// maxFreeSlices bounds each stream's recycled-slice pool. Checkpoints can
+// trim hundreds of entries at once; keeping them all would just move the
+// unbounded-memory problem from the journal to the free list.
+const maxFreeSlices = 64
+
 // journalEntry is one post-chaos round retained for replay: exactly what
 // went (or would have gone) on the wire — the delivered events, the erasure
 // flag, and the injected service-time penalty. Replaying journal entries
@@ -129,6 +164,7 @@ type streamState struct {
 	// recovery then re-opens fresh and replays from round 0).
 	jbase       uint64
 	journal     []journalEntry
+	jbytes      int       // accounted journal size (journalEntryCost per entry)
 	free        [][]int32 // recycled event slices from trimmed entries
 	ckptCorrSeq uint64
 	ckptSnap    []byte
@@ -212,7 +248,10 @@ type pendingResult struct {
 	reason string
 }
 
-var errShardDown = errors.New("fleet: shard down")
+var (
+	errShardDown       = errors.New("fleet: shard down")
+	errJournalOverflow = errors.New("fleet: replay journal over budget, shedding shard")
+)
 
 // Dial connects to every shard, opens the fleet's streams across them
 // (stream i prefers shard i mod N; admission refusals spill to the next
@@ -434,7 +473,8 @@ func (r *Router) handleCheckpoint(l *link, env envelope) error {
 	// the free list so the steady state stops allocating.
 	drop := int(rounds - st.jbase)
 	for k := 0; k < drop; k++ {
-		if ev := st.journal[k].events; ev != nil {
+		st.jbytes -= journalEntryCost(st.journal[k].events)
+		if ev := st.journal[k].events; ev != nil && len(st.free) < maxFreeSlices {
 			st.free = append(st.free, ev[:0])
 		}
 	}
@@ -729,10 +769,35 @@ func (r *Router) sendRound(st *streamState, events []int32, erased bool, penalty
 	}
 	seq := st.sent
 	st.journal = append(st.journal, journalEntry{events: ev, erased: erased, penalty: penalty})
+	st.jbytes += journalEntryCost(ev)
 	st.sent++
+	budget := r.cfg.journalMaxBytes()
+	over := budget > 0 && st.jbytes > budget
 	r.mu.Unlock()
 
 	l := r.links[st.cur]
+	if over {
+		// The journal is over budget: the shard has taken a cap's worth of
+		// rounds without a checkpoint. Flush the link (it cannot checkpoint
+		// rounds still sitting in our write buffer) and give it a bounded
+		// wall-clock window to catch up — a healthy shard that just adopted
+		// the stream answers with a trimming checkpoint almost immediately.
+		// If the journal is still over budget after the wait, the shard is
+		// wedged: shed it. Declaring the session dead routes this through
+		// the same recovery as a crash — the journal is replayed (nothing
+		// sheds data), and the adopting shard's first checkpoint trims it.
+		if r.flushLink(l) != nil {
+			return errShardDown
+		}
+		if !r.awaitJournalTrim(st, budget) {
+			fObs.journalSheds.Inc(l.idx)
+			l.wmu.Lock()
+			gen := l.gen
+			l.wmu.Unlock()
+			r.markDead(l, gen, errJournalOverflow, false)
+			return errShardDown
+		}
+	}
 	if !l.up.Load() {
 		return errShardDown
 	}
@@ -754,6 +819,33 @@ func (r *Router) sendRound(st *streamState, events []int32, erased bool, penalty
 	}
 	fObs.roundsRouted.Inc(l.idx)
 	return nil
+}
+
+// journalTrimWait bounds how long an over-budget journal waits for the
+// shard's trimming checkpoint before the session is shed. A shard making
+// any progress at all checkpoints within microseconds of draining its
+// socket; a quarter second of silence past a full cap of rounds means it
+// is not decoding.
+const journalTrimWait = 250 * time.Millisecond
+
+// awaitJournalTrim polls st's journal accounting (trimmed by the reader
+// goroutine as checkpoints land) until it falls back under budget or the
+// wait expires. Wall-clock only affects *when* a laggard is shed, never
+// decode results — the journal replays identically either way.
+func (r *Router) awaitJournalTrim(st *streamState, budget int) bool {
+	deadline := time.Now().Add(journalTrimWait)
+	for {
+		r.mu.Lock()
+		ok := st.jbytes <= budget
+		r.mu.Unlock()
+		if ok {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 // flushEveryRounds bounds how long routed rounds may sit in the write
@@ -905,6 +997,16 @@ drain:
 
 // Streams returns the fleet size L.
 func (r *Router) Streams() int { return len(r.streams) }
+
+// JournalStats reports stream i's replay-journal occupancy: entries not
+// yet covered by a shard checkpoint, and their accounted bytes (the
+// quantity Config.JournalMaxBytes caps).
+func (r *Router) JournalStats(i int) (entries, bytes int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.streams[i]
+	return len(st.journal), st.jbytes
+}
 
 // Committed returns the corrections retained for stream i (router built
 // without a sink). Stable only after Flush.

@@ -35,9 +35,10 @@ type chunkTally struct {
 	// decomposition without a decoder walk (those also count in multi),
 	// full decodes that ran on a strictly smaller residual (those also
 	// count in full), and the defect-count histogram of the residuals
-	// actually decoded. The scalar kernel peels only what classifyMulti
-	// punts; the bit-plane kernel routes every gathered multi-defect lane
-	// through the peel (its certified set contains classifyMulti's).
+	// actually decoded. Both kernels route every multi-defect (>= 3)
+	// syndrome through the peel: the bit-plane kernel on its gathered
+	// lanes, the scalar kernel fused into its triage loop (PeelResidual's
+	// certified set contains classifyMulti's, test-enforced).
 	peeled       uint64
 	peelResolved uint64
 	residual     uint64
@@ -91,6 +92,12 @@ type kernel struct {
 	peel    bool // run PeelResidual on punted syndromes
 	b       noise.Batch
 
+	// tile, when non-nil, decodes full-pipeline trials with at least
+	// tileMin defects through the tile-parallel Union-Find engine
+	// (AccuracyConfig.TileParallel); every lighter trial keeps dec.
+	tile    *core.TileDecoder
+	tileMin int
+
 	// failLog, when non-nil, records every trial's failure bit in order —
 	// the hook the triage-equivalence property tests use to compare paths
 	// trial for trial. Production runs leave it nil.
@@ -110,6 +117,11 @@ func newKernel(cfg AccuracyConfig, g *lattice.Graph) *kernel {
 	if k.triage {
 		k.tri = core.NewTriage(g)
 		k.peel = !cfg.DisablePeel
+	}
+	if cfg.TileParallel {
+		k.tile = core.NewTileDecoder(g, core.Options{LeanStats: true},
+			core.TileConfig{TileSize: cfg.TileSize, Workers: cfg.TileWorkers})
+		k.tileMin = cfg.tileMinDefects()
 	}
 	return k
 }
@@ -203,7 +215,13 @@ func (k *kernel) run(n uint64) chunkTally {
 				}
 			}
 			t.full++
-			for _, e := range k.dec.Decode(df) {
+			var corr []int32
+			if k.tile != nil && len(df) >= k.tileMin {
+				corr = k.tile.Decode(df)
+			} else {
+				corr = k.dec.Decode(df)
+			}
+			for _, e := range corr {
 				if k.cutEdge[e] {
 					par = !par
 				}

@@ -147,6 +147,45 @@ func TestTriageTalliesPartitionTrials(t *testing.T) {
 	}
 }
 
+// TestFractionsPartitionWithFusedPeel audits the fraction denominators on
+// the post-fusion pipelines: at a heavy near-threshold point, where both
+// kernels route every multi-defect syndrome through PeelResidual, the
+// triage classes must still partition the executed trials exactly, the
+// fractions must sum to 1, and the peel tallies must stay subsets of the
+// classes they refine (PeelResolved of TriageMulti, ResidualDecodes of
+// FullDecodes) on the scalar and bit-plane kernels alike.
+func TestFractionsPartitionWithFusedPeel(t *testing.T) {
+	for _, bitplane := range []bool{false, true} {
+		res := RunAccuracy(AccuracyConfig{
+			Distance: 7, P: 0.02, Trials: 20000, Seed: 12, Workers: 2, New: sparseUFFactory,
+			BitPlane: bitplane,
+		})
+		if sum := res.TriageW0 + res.TriageW1 + res.TriageW2 + res.TriageMulti + res.FullDecodes; sum != res.Trials {
+			t.Fatalf("bitplane=%v: triage classes sum to %d, trials %d", bitplane, sum, res.Trials)
+		}
+		w0, w1, w2, multi, full := res.TriageFractions()
+		if s := w0 + w1 + w2 + multi + full; math.Abs(s-1) > 1e-12 {
+			t.Fatalf("bitplane=%v: triage fractions sum to %g, want 1", bitplane, s)
+		}
+		if res.PeelResolved == 0 || res.ResidualDecodes == 0 {
+			t.Fatalf("bitplane=%v: peel never fired at a heavy point: %+v", bitplane, res)
+		}
+		if res.PeelResolved > res.TriageMulti {
+			t.Fatalf("bitplane=%v: PeelResolved %d exceeds TriageMulti %d — not a refinement",
+				bitplane, res.PeelResolved, res.TriageMulti)
+		}
+		if res.ResidualDecodes > res.FullDecodes {
+			t.Fatalf("bitplane=%v: ResidualDecodes %d exceeds FullDecodes %d — not a refinement",
+				bitplane, res.ResidualDecodes, res.FullDecodes)
+		}
+		resolved, residual := res.PeelFractions()
+		if resolved > multi || residual > full {
+			t.Fatalf("bitplane=%v: peel fractions (%g, %g) exceed their classes (%g, %g)",
+				bitplane, resolved, residual, multi, full)
+		}
+	}
+}
+
 // Steady-state batch decoding must not allocate — the 0 allocs/op contract
 // extends from the scalar pipeline to the fused kernel.
 func TestBatchKernelZeroAllocSteadyState(t *testing.T) {

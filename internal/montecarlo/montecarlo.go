@@ -17,6 +17,7 @@ package montecarlo
 import (
 	"time"
 
+	"afs/internal/core"
 	"afs/internal/lattice"
 	"afs/internal/noise"
 	"afs/internal/stats"
@@ -95,6 +96,23 @@ type AccuracyConfig struct {
 	// Implied by DisableTriage.
 	DisablePeel bool
 
+	// TileParallel routes trials that reach the full decoder with at least
+	// TileMinDefects defects — the heavy tail that survives triage and
+	// partial-residual peeling — through the tile-parallel Union-Find
+	// engine (core.TileDecoder) instead of New's decoder. The tile engine
+	// is bit-identical to the sequential full grow/peel pipeline for every
+	// tile size and worker count (test-enforced), so measured rates are
+	// unchanged whenever New builds a decoder failure-equivalent to it —
+	// every Union-Find variant in the repo qualifies; the MWPM baseline
+	// does not (its routed trials would be decoded by Union-Find).
+	TileParallel bool
+	// TileSize and TileWorkers configure the engine (core.TileConfig
+	// semantics; zero values select the defaults). TileMinDefects is the
+	// routing threshold; 0 selects core.DefaultTileMinDefects.
+	TileSize       int
+	TileWorkers    int
+	TileMinDefects int
+
 	// StopRelCI, when positive, enables adaptive early stopping: the point
 	// terminates once the Wilson 95% CI half-width divided by the observed
 	// rate is <= StopRelCI (e.g. 0.1 stops at ±10% relative precision).
@@ -121,6 +139,13 @@ func (c AccuracyConfig) chunkTrials() uint64 {
 		return DefaultChunkTrials
 	}
 	return c.ChunkTrials
+}
+
+func (c AccuracyConfig) tileMinDefects() int {
+	if c.TileMinDefects == 0 {
+		return core.DefaultTileMinDefects
+	}
+	return c.TileMinDefects
 }
 
 func (c AccuracyConfig) stopMinFailures() uint64 {
@@ -175,12 +200,14 @@ type AccuracyResult struct {
 	BitPlaneGatheredLanes uint64
 	// Partial-residual peel tallies (core.Triage.PeelResidual): certified
 	// components peeled, trials resolved entirely by the peel
-	// decomposition (a subset of TriageMulti; under the bit-plane kernel
-	// every gathered multi-defect lane routes through the peel, under the
-	// scalar kernel only classifyMulti's punts do), full decodes that ran
-	// on a strictly smaller residual (a subset of FullDecodes), and the
+	// decomposition (a subset of TriageMulti), full decodes that ran on a
+	// strictly smaller residual (a subset of FullDecodes), and the
 	// defect-count histogram of those residuals (buckets <=2, <=4, <=8,
-	// <=16, >16).
+	// <=16, >16). Both kernels route every multi-defect (>= 3) syndrome
+	// through the peel — the bit-plane kernel on its gathered lanes, the
+	// scalar kernel fused into its triage loop — so the tallies are
+	// kernel-comparable; the triage partition
+	// w0+w1+w2+multi+full == trials is unaffected either way.
 	PeeledComponents uint64
 	PeelResolved     uint64
 	ResidualDecodes  uint64

@@ -1,0 +1,62 @@
+package montecarlo
+
+import (
+	"testing"
+)
+
+// tileCfg returns a near-threshold point heavy enough that trials actually
+// route through the tile engine (threshold 4, well under the defect counts
+// p=0.06 produces at d=7).
+func tileCfg(bitplane bool, tile bool) AccuracyConfig {
+	return AccuracyConfig{
+		Distance:       7,
+		P:              0.06,
+		Trials:         4000,
+		Seed:           424242,
+		Workers:        2,
+		New:            ufFactory,
+		BitPlane:       bitplane,
+		TileParallel:   tile,
+		TileSize:       3,
+		TileWorkers:    3,
+		TileMinDefects: 4,
+	}
+}
+
+// TestTileParallelBitIdenticalRates is the Monte-Carlo half of the tile
+// engine's determinism contract: routing the heavy tail through the
+// tile-parallel engine changes no measured number — failures, defect
+// totals, and every triage/peel tally are identical to the sequential run
+// on both kernels.
+func TestTileParallelBitIdenticalRates(t *testing.T) {
+	for _, bitplane := range []bool{false, true} {
+		seq := RunAccuracy(tileCfg(bitplane, false))
+		tiled := RunAccuracy(tileCfg(bitplane, true))
+		if tiled.FullDecodes == 0 {
+			t.Fatalf("bitplane=%v: no trials reached the full decoder", bitplane)
+		}
+		seq.Elapsed, tiled.Elapsed = 0, 0
+		if seq != tiled {
+			t.Fatalf("bitplane=%v: tile-parallel run diverged from sequential\n seq  %+v\n tile %+v",
+				bitplane, seq, tiled)
+		}
+	}
+}
+
+// TestTileParallelWorkerCountInvariance re-runs the tiled point with
+// different tile worker counts; results must stay bit-identical (the
+// engine's worker pool affects scheduling only).
+func TestTileParallelWorkerCountInvariance(t *testing.T) {
+	base := tileCfg(false, true)
+	base.TileWorkers = 1
+	want := RunAccuracy(base)
+	for _, workers := range []int{2, 6} {
+		cfg := base
+		cfg.TileWorkers = workers
+		got := RunAccuracy(cfg)
+		want.Elapsed, got.Elapsed = 0, 0
+		if got != want {
+			t.Fatalf("TileWorkers=%d: result diverged\n got  %+v\n want %+v", workers, got, want)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package stream
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 
 	"afs/internal/backlog"
@@ -93,8 +94,8 @@ func (d *Decoder) Snapshot() Snapshot {
 // SetRobust resets). Feeding the restored decoder the same rounds the
 // snapshotted one went on to receive reproduces its corrections and its
 // fault ledger bit for bit. Any malformed snapshot — shape mismatch, too
-// many layers, an out-of-range ancilla index — is rejected with an error
-// before any decoder state changes.
+// many layers, an out-of-range ancilla index, a non-finite or negative
+// penalty — is rejected with an error before any decoder state changes.
 func (d *Decoder) Restore(s Snapshot) error {
 	if s.Distance != d.Distance || s.Window != d.Window || s.Commit != d.Commit {
 		return fmt.Errorf("stream: snapshot shape d=%d W=%d C=%d does not match decoder d=%d W=%d C=%d",
@@ -108,6 +109,13 @@ func (d *Decoder) Restore(s Snapshot) error {
 	}
 	if s.Base < 0 {
 		return fmt.Errorf("stream: snapshot base %d negative", s.Base)
+	}
+	// A corrupt checkpoint (bit flips in transit, a truncated JSON blob
+	// hand-patched back together) can carry a non-finite or negative
+	// penalty; accepting one would poison every subsequent deadline
+	// decision. Same guard the fleet wire protocol applies on decode.
+	if math.IsNaN(s.PenaltyNS) || math.IsInf(s.PenaltyNS, 0) || s.PenaltyNS < 0 {
+		return fmt.Errorf("stream: snapshot penalty %v not a finite non-negative duration", s.PenaltyNS)
 	}
 	per := int32(d.per)
 	for t, layer := range s.Layers {

@@ -2,6 +2,7 @@ package stream
 
 import (
 	"encoding/json"
+	"math"
 	"reflect"
 	"testing"
 
@@ -235,6 +236,9 @@ func TestRestoreRejectsMalformed(t *testing.T) {
 		{Distance: 5, Window: 5, Commit: 2, Layers: [][]int32{{99}}, Erased: []bool{false}},      // index range
 		{Distance: 5, Window: 5, Commit: 2, Layers: [][]int32{{1}}, Erased: []bool{}},            // flag count
 		{Distance: 5, Window: 5, Commit: 2, Base: -1},                                            // negative base
+		{Distance: 5, Window: 5, Commit: 2, PenaltyNS: math.NaN()},                               // NaN penalty
+		{Distance: 5, Window: 5, Commit: 2, PenaltyNS: math.Inf(1)},                              // Inf penalty
+		{Distance: 5, Window: 5, Commit: 2, PenaltyNS: -1},                                       // negative penalty
 	}
 	for i, s := range bad {
 		if err := dec.Restore(s); err == nil {
@@ -243,5 +247,26 @@ func TestRestoreRejectsMalformed(t *testing.T) {
 	}
 	if got := dec.Snapshot(); !reflect.DeepEqual(got, before) {
 		t.Fatalf("failed restore mutated decoder: %+v vs %+v", got, before)
+	}
+
+	// A checkpoint that was corrupted in storage does not even unmarshal —
+	// the caller's decode error fires before Restore ever runs. Pin that the
+	// standard round trip catches the truncation rather than yielding a
+	// zero-valued (and therefore shape-rejected) snapshot.
+	blob, err := json.Marshal(before)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trunc Snapshot
+	if err := json.Unmarshal(blob[:len(blob)/2], &trunc); err == nil {
+		if err := dec.Restore(trunc); err == nil {
+			t.Fatal("truncated checkpoint restored cleanly")
+		}
+	}
+	var garbled Snapshot
+	if err := json.Unmarshal([]byte(`{"distance":5,"window":5,"commit":2,"penalty_ns":"NaN"}`), &garbled); err == nil {
+		if err := dec.Restore(garbled); err == nil {
+			t.Fatal("garbled checkpoint restored cleanly")
+		}
 	}
 }

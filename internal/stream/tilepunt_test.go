@@ -1,0 +1,123 @@
+package stream
+
+import (
+	"reflect"
+	"testing"
+
+	"afs/internal/core"
+	"afs/internal/lattice"
+	"afs/internal/noise"
+)
+
+// puntCfg keeps the punt threshold low enough that a near-threshold test
+// stream actually routes windows through the tile engine.
+func newPuntDecoder(t *testing.T, d, w, workers int) *Decoder {
+	t.Helper()
+	dec, err := New(d, w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.EnableTilePunt(core.TileConfig{TileSize: 2, Workers: workers}, 3); err != nil {
+		t.Fatal(err)
+	}
+	return dec
+}
+
+// TestTilePuntReproducesSyndrome is the streaming correctness invariant
+// with the heavy-window punt active: committed corrections still reproduce
+// every stream's syndrome exactly.
+func TestTilePuntReproducesSyndrome(t *testing.T) {
+	const d, T = 5, 20
+	g := lattice.New3D(d, T)
+	s := noise.NewSampler(g, 0.06, 11, 4) // near threshold: heavy windows
+	var trial noise.Trial
+	punted := false
+	for i := 0; i < 150; i++ {
+		s.Sample(&trial)
+		dec := newPuntDecoder(t, d, d, 2)
+		feed(dec, g, trial.Defects)
+		corr := dec.Flush()
+		verify(t, g, &trial, corr)
+		if len(trial.Defects) >= 3 {
+			punted = true
+		}
+	}
+	if !punted {
+		t.Fatal("no stream was heavy enough to exercise the punt")
+	}
+}
+
+// TestTilePuntDeterministicAcrossWorkers pins the streaming determinism
+// contract: the committed correction sequence is bit-identical for every
+// tile worker count, including under robust-mode deadline accounting.
+func TestTilePuntDeterministicAcrossWorkers(t *testing.T) {
+	const d, T = 5, 40
+	g := lattice.New3D(d, T)
+	s := noise.NewSampler(g, 0.05, 21, 9)
+	var trial noise.Trial
+	s.Sample(&trial)
+
+	run := func(workers int) ([]Correction, uint64, uint64) {
+		dec := newPuntDecoder(t, d, d, workers)
+		if err := dec.SetRobust(Robust{DeadlineNS: 2000, QueueCap: 4 * d}); err != nil {
+			t.Fatal(err)
+		}
+		feed(dec, g, trial.Defects)
+		corr := append([]Correction(nil), dec.Flush()...)
+		rep := dec.Report()
+		return corr, rep.Windows, rep.Timeouts
+	}
+	base, baseWin, baseTO := run(1)
+	for _, workers := range []int{2, 4} {
+		corr, win, to := run(workers)
+		if !reflect.DeepEqual(corr, base) {
+			t.Fatalf("workers=%d: committed corrections differ from single-worker stream", workers)
+		}
+		if win != baseWin || to != baseTO {
+			t.Fatalf("workers=%d: fault ledger differs (windows %d/%d, timeouts %d/%d)",
+				workers, win, baseWin, to, baseTO)
+		}
+	}
+}
+
+// TestTilePuntMatchesUnpunted checks decision identity against the
+// sequential path: the punted stream commits exactly the same correction
+// set as an unpunted decoder (order within a window may differ — the
+// sparse shortcut and the full pipeline emit different edge orders).
+func TestTilePuntMatchesUnpunted(t *testing.T) {
+	const d, T = 5, 30
+	g := lattice.New3D(d, T)
+	s := noise.NewSampler(g, 0.05, 31, 2)
+	var trial noise.Trial
+	for i := 0; i < 60; i++ {
+		s.Sample(&trial)
+		plain, err := New(d, d, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		punt := newPuntDecoder(t, d, d, 2)
+		feed(plain, g, trial.Defects)
+		feed(punt, g, trial.Defects)
+		want := append([]Correction(nil), plain.Flush()...)
+		got := append([]Correction(nil), punt.Flush()...)
+		sortCorrections(want)
+		sortCorrections(got)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: punted committed set differs\n got  %v\n want %v", i, got, want)
+		}
+	}
+}
+
+// TestTilePuntValidation checks the empty-decoder precondition.
+func TestTilePuntValidation(t *testing.T) {
+	dec, err := New(5, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.PushLayer([]int32{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.EnableTilePunt(core.TileConfig{}, 0); err == nil {
+		t.Fatal("EnableTilePunt accepted a decoder with buffered layers")
+	}
+}
