@@ -148,7 +148,14 @@ type TileDecoder struct {
 	// single-writer at every instant.
 	live   [][]int32
 	inLive []bool
-	dirty  []int16 // tiles holding live state this decode, in join order
+	// dirty lists the tiles that held live state this decode, in join
+	// order; inDirty is the membership bitmap. Membership must be tracked
+	// explicitly — a pruned-to-empty live list is NOT a proxy for "not in
+	// dirty" (growTile prunes live lists mid-decode while the tile stays in
+	// dirty), and a duplicate dirty entry would let two workers race on the
+	// same tile's state.
+	dirty   []int16
+	inDirty []bool
 
 	rootActive []int64 // per root: stamp of the round it is active in
 	roundID    int64
@@ -214,6 +221,7 @@ func NewTileDecoder(g *lattice.Graph, opts Options, cfg TileConfig) *TileDecoder
 	}
 	t.live = make([][]int32, t.nTiles)
 	t.inLive = make([]bool, g.V)
+	t.inDirty = make([]bool, t.nTiles)
 	t.touchedT = make([][]int32, t.nTiles)
 	t.mergedT = make([][]int32, t.nTiles)
 	t.opsT = make([]int64, t.nTiles)
@@ -274,6 +282,7 @@ func (t *TileDecoder) Decode(defects []int32) []int32 {
 			t.inLive[v] = false
 		}
 		t.live[ti] = t.live[ti][:0]
+		t.inDirty[ti] = false
 	}
 	t.last.TilesTouched = len(t.dirty)
 	t.dirty = t.dirty[:0]
@@ -297,7 +306,8 @@ func (t *TileDecoder) join(v int32) {
 	}
 	t.inLive[v] = true
 	ti := t.tileOf[v]
-	if len(t.live[ti]) == 0 {
+	if !t.inDirty[ti] {
+		t.inDirty[ti] = true
 		t.dirty = append(t.dirty, ti)
 	}
 	t.live[ti] = append(t.live[ti], v)

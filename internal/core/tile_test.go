@@ -182,6 +182,67 @@ func TestTileEdgeCases(t *testing.T) {
 	}
 }
 
+// TestTileDirtyMembershipSurvivesPrune is the regression test for the
+// duplicate-dirty-entry bug: growTile can prune a tile's live list to
+// empty mid-decode while the tile stays in dirty (dirty is never pruned
+// between rounds), so a later join into that tile — e.g. a fresh endpoint
+// of a cross-tile merged edge — must NOT append a second dirty entry.
+// With a duplicate entry runRound grows the same tile twice per round:
+// single-worker that double-increments growth32 (an edge can go 0->2 in
+// one round from one endpoint, breaking bit-identity); multi-worker two
+// goroutines claim the two entries and race on the tile's slices.
+func TestTileDirtyMembershipSurvivesPrune(t *testing.T) {
+	g := lattice.New3D(5, 5)
+	td := NewTileDecoder(g, Options{}, TileConfig{TileSize: 2, Workers: 1})
+
+	// Pick two vertices of the same tile.
+	var u, v int32 = -1, -1
+	for w := int32(0); w < int32(g.V); w++ {
+		if td.tileOf[w] != td.tileOf[0] {
+			continue
+		}
+		if u < 0 {
+			u = w
+		} else {
+			v = w
+			break
+		}
+	}
+	ti := td.tileOf[u]
+	td.join(u)
+
+	// Mimic growTile pruning the tile's live list to empty mid-decode:
+	// interior vertices leave live, but the tile keeps its dirty slot.
+	td.inLive[u] = false
+	td.live[ti] = td.live[ti][:0]
+
+	// A later join into the pruned tile must reuse that dirty slot.
+	td.join(v)
+	count := 0
+	for _, d := range td.dirty {
+		if d == ti {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("tile %d appears %d times in dirty after prune+rejoin, want 1", ti, count)
+	}
+	// Rewind through a real decode so the decoder is reusable, then check
+	// the bit-identity contract still holds on a fresh heavy decode.
+	td.Decode(nil)
+	seq := NewDecoder(g, Options{})
+	s := noise.NewSampler(g, 0.08, 31, 5)
+	var trial noise.Trial
+	for i := 0; i < 20; i++ {
+		s.Sample(&trial)
+		want := append([]int32(nil), seq.Decode(trial.Defects)...)
+		got := td.Decode(trial.Defects)
+		if !reflect.DeepEqual(got, want) && (len(got) != 0 || len(want) != 0) {
+			t.Fatalf("trial %d after prune+rejoin: tile %v, sequential %v", i, got, want)
+		}
+	}
+}
+
 // TestTileStatsSanity checks the tile-level meters on a heavy syndrome:
 // multiple tiles touched, cross-tile merges observed and reconciled, and a
 // critical-path advantage over the sequential unit (the model quantity

@@ -228,6 +228,9 @@ type Router struct {
 	mu      sync.Mutex
 	pending map[pendingKey]chan pendingResult
 	flushCh chan int // receives link indices whose flushOK arrived
+	// trimCond (on mu) is broadcast whenever a checkpoint trims a journal;
+	// awaitJournalTrim waits on it instead of sleep-polling mu.
+	trimCond *sync.Cond
 
 	recoveries   int
 	lastRecovery RecoveryStats
@@ -272,6 +275,7 @@ func Dial(cfg Config) (*Router, error) {
 		pending: map[pendingKey]chan pendingResult{},
 		flushCh: make(chan int, len(cfg.Shards)*4),
 	}
+	r.trimCond = sync.NewCond(&r.mu)
 	if cfg.Sink == nil {
 		r.retain = make([][]stream.Correction, cfg.Streams)
 	}
@@ -480,6 +484,7 @@ func (r *Router) handleCheckpoint(l *link, env envelope) error {
 	}
 	st.journal = append(st.journal[:0], st.journal[drop:]...)
 	st.jbase = rounds
+	r.trimCond.Broadcast()
 	fObs.checkpoints.Inc(l.idx)
 	return nil
 }
@@ -828,24 +833,28 @@ func (r *Router) sendRound(st *streamState, events []int32, erased bool, penalty
 // is not decoding.
 const journalTrimWait = 250 * time.Millisecond
 
-// awaitJournalTrim polls st's journal accounting (trimmed by the reader
-// goroutine as checkpoints land) until it falls back under budget or the
-// wait expires. Wall-clock only affects *when* a laggard is shed, never
-// decode results — the journal replays identically either way.
+// awaitJournalTrim waits for st's journal accounting (trimmed by the
+// reader goroutine as checkpoints land) to fall back under budget, or for
+// the wait to expire. Trims signal trimCond, so the waiter wakes the
+// moment the shard catches up instead of on a poll tick; the deadline
+// arrives as one extra broadcast from a timer. Wall-clock only affects
+// *when* a laggard is shed, never decode results — the journal replays
+// identically either way.
 func (r *Router) awaitJournalTrim(st *streamState, budget int) bool {
-	deadline := time.Now().Add(journalTrimWait)
-	for {
+	expired := false
+	timer := time.AfterFunc(journalTrimWait, func() {
 		r.mu.Lock()
-		ok := st.jbytes <= budget
+		expired = true
 		r.mu.Unlock()
-		if ok {
-			return true
-		}
-		if time.Now().After(deadline) {
-			return false
-		}
-		time.Sleep(time.Millisecond)
+		r.trimCond.Broadcast()
+	})
+	defer timer.Stop()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for st.jbytes > budget && !expired {
+		r.trimCond.Wait()
 	}
+	return st.jbytes <= budget
 }
 
 // flushEveryRounds bounds how long routed rounds may sit in the write

@@ -120,7 +120,7 @@ func newKernel(cfg AccuracyConfig, g *lattice.Graph) *kernel {
 	}
 	if cfg.TileParallel {
 		k.tile = core.NewTileDecoder(g, core.Options{LeanStats: true},
-			core.TileConfig{TileSize: cfg.TileSize, Workers: cfg.TileWorkers})
+			core.TileConfig{TileSize: cfg.TileSize, Workers: cfg.tileWorkers()})
 		k.tileMin = cfg.tileMinDefects()
 	}
 	return k

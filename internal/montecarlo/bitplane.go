@@ -77,7 +77,7 @@ func newBPKernel(cfg AccuracyConfig, g *lattice.Graph) *bpKernel {
 	k.cutEdge = k.s.CutEdges()
 	if cfg.TileParallel {
 		k.tile = core.NewTileDecoder(g, core.Options{LeanStats: true},
-			core.TileConfig{TileSize: cfg.TileSize, Workers: cfg.TileWorkers})
+			core.TileConfig{TileSize: cfg.TileSize, Workers: cfg.tileWorkers()})
 		k.tileMin = cfg.tileMinDefects()
 	}
 	return k

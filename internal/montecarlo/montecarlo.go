@@ -107,8 +107,13 @@ type AccuracyConfig struct {
 	// does not (its routed trials would be decoded by Union-Find).
 	TileParallel bool
 	// TileSize and TileWorkers configure the engine (core.TileConfig
-	// semantics; zero values select the defaults). TileMinDefects is the
-	// routing threshold; 0 selects core.DefaultTileMinDefects.
+	// semantics), except that TileWorkers=0 selects 1 worker here, not
+	// GOMAXPROCS: the Monte-Carlo engine already runs one kernel per core,
+	// so per-kernel growth pools would oversubscribe the host ~quadratically
+	// (wall-clock only — decode results are worker-count deterministic).
+	// Set TileWorkers explicitly to give each kernel a pool anyway.
+	// TileMinDefects is the routing threshold; 0 selects
+	// core.DefaultTileMinDefects.
 	TileSize       int
 	TileWorkers    int
 	TileMinDefects int
@@ -139,6 +144,16 @@ func (c AccuracyConfig) chunkTrials() uint64 {
 		return DefaultChunkTrials
 	}
 	return c.ChunkTrials
+}
+
+// tileWorkers resolves TileWorkers for a kernel's TileDecoder: unset means
+// one worker, since the engine already saturates the host with one kernel
+// per core (see the TileWorkers field comment).
+func (c AccuracyConfig) tileWorkers() int {
+	if c.TileWorkers <= 0 {
+		return 1
+	}
+	return c.TileWorkers
 }
 
 func (c AccuracyConfig) tileMinDefects() int {
