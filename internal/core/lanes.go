@@ -163,11 +163,22 @@ type LaneTriage struct {
 	duoC     []uint64
 	duoP     []uint64
 
-	// DefV/DefW are the compact defect list of the most recent Classify
-	// call: the touched vertices with a nonzero plane word, in increasing
-	// vertex order, paired with those words. The kernel's heavy-tail
-	// gather iterates this instead of re-scanning the touched bitmap.
-	// Valid until the next Classify call.
+	// fb/upNbr/upEdge serve ClassifySparse (the streaming fast set).
+	// fb[v] is FirstBoundaryEdge(v) when v sits at boundary distance 1,
+	// else -1 — the spSingle emit edge. upNbr/upEdge hold, per vertex, the
+	// three id-increasing lattice neighbors (+1 column, +d row, +d(d-1)
+	// layer) and the connecting edge, sentinel-padded (g.V / -1) at the
+	// faces — the spPair emit edge, looked up from the smaller member so
+	// each pair emits exactly once.
+	fb     []int32
+	upNbr  []int32
+	upEdge []int32
+
+	// DefV/DefW are the compact defect list of the most recent Classify or
+	// ClassifySparse call: the touched vertices with a nonzero plane word,
+	// in increasing vertex order, paired with those words. The kernel's
+	// heavy-tail gather (GatherLanes) iterates this instead of re-scanning
+	// the touched bitmap. Valid until the next classification call.
 	DefV []int32
 	DefW []uint64
 }
@@ -217,6 +228,9 @@ func NewLaneTriage(g *lattice.Graph) *LaneTriage {
 	lt.tieBits = make([]uint64, words)
 	lt.nbr6 = make([]int32, 6*g.V)
 	lt.interior = make([]uint64, words)
+	lt.fb = make([]int32, g.V)
+	lt.upNbr = make([]int32, 3*g.V)
+	lt.upEdge = make([]int32, 3*g.V)
 	lt.ring2Off = make([]int32, g.V+1)
 	lt.ring3Off = make([]int32, g.V+1)
 	d := g.Distance
@@ -261,6 +275,29 @@ func NewLaneTriage(g *lattice.Graph) *LaneTriage {
 		}
 		for ; n < 6; n++ {
 			lt.nbr6[6*int(v)+n] = int32(g.V) // always-zero sentinel plane
+		}
+		lt.fb[v] = -1
+		if g.PackedCoords(v)>>48 == 1 {
+			lt.fb[v] = g.FirstBoundaryEdge(v)
+		}
+		for k := 0; k < 3; k++ {
+			lt.upNbr[3*int(v)+k] = int32(g.V)
+			lt.upEdge[3*int(v)+k] = -1
+		}
+		if c < d-1 {
+			u := g.VertexID(r, c+1, t)
+			lt.upNbr[3*int(v)] = u
+			lt.upEdge[3*int(v)] = g.EdgeBetween(v, u)
+		}
+		if r < d-2 {
+			u := g.VertexID(r+1, c, t)
+			lt.upNbr[3*int(v)+1] = u
+			lt.upEdge[3*int(v)+1] = g.EdgeBetween(v, u)
+		}
+		if t < g.Rounds-1 {
+			u := g.VertexID(r, c, t+1)
+			lt.upNbr[3*int(v)+2] = u
+			lt.upEdge[3*int(v)+2] = g.EdgeBetween(v, u)
 		}
 		for dr := -3; dr <= 3; dr++ {
 			for dc := -3; dc <= 3; dc++ {

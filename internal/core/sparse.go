@@ -80,6 +80,12 @@ import "math/bits"
 // syndromes go straight to the full pipeline.
 const maxShortcutDefects = 32
 
+// MaxShortcutDefects is the sparse shortcut's syndrome-size bound, exported
+// so the streaming lane batcher can pre-route windows the shortcut would
+// refuse (k > bound) straight to the scalar path instead of scattering them
+// into a lane group.
+const MaxShortcutDefects = maxShortcutDefects
+
 // sparseMaxFullRounds bounds the classification fixpoint's full regroup
 // rounds. The two-defect distance cap can lower radii, so the fixpoint is
 // not monotone on paper; real syndromes converge in one or two full rounds,

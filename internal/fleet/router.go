@@ -30,6 +30,13 @@ type Config struct {
 	DeadlineNS               float64
 	QueueCap                 int
 
+	// LaneBatch asks every shard to batch ready windows from up to 64 of its
+	// streams into bit-plane lane groups decoded word-parallel
+	// (stream.LaneBatcher). Committed corrections stay bit-identical to
+	// per-stream scalar decoding; ignored when DeadlineNS or QueueCap enable
+	// robust mode, because robust decoders never defer their windows.
+	LaneBatch bool
+
 	// Chaos, when non-nil, injects link faults on every stream's
 	// qubit→decoder channel — router-side, before the socket, so the wire
 	// carries post-fault syndromes. Each stream's channel is seeded with
@@ -530,8 +537,7 @@ func (r *Router) heartbeat(l *link, gen uint64) {
 			r.markDead(l, gen, errors.New("fleet: heartbeat timeout"), true)
 			return
 		}
-		l.wbuf = appendEnvelope(l.wbuf[:0], msgPing, 0, nil)
-		_, err := l.bw.Write(l.wbuf)
+		err := r.sendLocked(l, msgPing, 0, nil)
 		if err == nil {
 			err = l.bw.Flush()
 		}
@@ -543,6 +549,18 @@ func (r *Router) heartbeat(l *link, gen uint64) {
 	}
 }
 
+// sendLocked frames one message into l's write buffer and hands it to the
+// buffered writer, counting the wire bytes against the router and per-shard
+// totals. It is the single emit point for every outbound message; callers
+// hold l.wmu.
+func (r *Router) sendLocked(l *link, typ uint8, id uint32, payload []byte) error {
+	l.wbuf = appendEnvelope(l.wbuf[:0], typ, id, payload)
+	n, err := l.bw.Write(l.wbuf)
+	r.wireTx.Add(uint64(n))
+	fObs.wireTx.Add(l.idx, uint64(n))
+	return err
+}
+
 // write frames and sends one message on l, counting wire bytes. Returns
 // errShardDown (after marking the session dead) on any failure.
 func (r *Router) write(l *link, typ uint8, id uint32, payload []byte) error {
@@ -552,11 +570,8 @@ func (r *Router) write(l *link, typ uint8, id uint32, payload []byte) error {
 		return errShardDown
 	}
 	gen := l.gen
-	l.wbuf = appendEnvelope(l.wbuf[:0], typ, id, payload)
-	n, err := l.bw.Write(l.wbuf)
+	err := r.sendLocked(l, typ, id, payload)
 	l.wmu.Unlock()
-	r.wireTx.Add(uint64(n))
-	fObs.wireTx.Add(l.idx, uint64(n))
 	if err != nil {
 		r.markDead(l, gen, err, false)
 		return errShardDown
@@ -600,6 +615,7 @@ func (r *Router) openOn(st *streamState, l *link) (ok bool, reason string, plan 
 		Commit:     r.cfg.Commit,
 		DeadlineNS: r.cfg.DeadlineNS,
 		QueueCap:   r.cfg.QueueCap,
+		LaneBatch:  r.cfg.LaneBatch && r.cfg.DeadlineNS == 0 && r.cfg.QueueCap == 0,
 	}
 	// The open and the replay plan must be one atomic read of the stream's
 	// recovery state: a checkpoint arriving between them would trim the
@@ -685,11 +701,8 @@ func (r *Router) replay(st *streamState, l *link, plan replayPlan) error {
 		}
 		gen := l.gen
 		l.pbuf = appendRoundPayload(l.pbuf[:0], uint32(base+uint64(k)), e.events, e.erased, e.penalty, r.per)
-		l.wbuf = appendEnvelope(l.wbuf[:0], msgRound, uint32(st.id), l.pbuf)
-		n, err := l.bw.Write(l.wbuf)
+		err := r.sendLocked(l, msgRound, uint32(st.id), l.pbuf)
 		l.wmu.Unlock()
-		r.wireTx.Add(uint64(n))
-		fObs.wireTx.Add(l.idx, uint64(n))
 		if err != nil {
 			r.markDead(l, gen, err, false)
 			return errShardDown
@@ -813,11 +826,8 @@ func (r *Router) sendRound(st *streamState, events []int32, erased bool, penalty
 	}
 	gen := l.gen
 	l.pbuf = appendRoundPayload(l.pbuf[:0], uint32(seq), ev, erased, penalty, r.per)
-	l.wbuf = appendEnvelope(l.wbuf[:0], msgRound, uint32(st.id), l.pbuf)
-	n, err := l.bw.Write(l.wbuf)
+	err := r.sendLocked(l, msgRound, uint32(st.id), l.pbuf)
 	l.wmu.Unlock()
-	r.wireTx.Add(uint64(n))
-	fObs.wireTx.Add(l.idx, uint64(n))
 	if err != nil {
 		r.markDead(l, gen, err, false)
 		return errShardDown

@@ -144,20 +144,10 @@ func (k *bpKernel) run(n uint64) chunkTally {
 			if gather := mask &^ fast; gather != 0 {
 				// Gather scan over the classifier's compact defect list
 				// (ascending vertex order → sorted lists), then the scalar
-				// triage / full-decode path per gathered lane.
-				for gw := gather; gw != 0; {
-					lane := bits.TrailingZeros64(gw)
-					gw &^= 1 << uint(lane)
-					k.lists[lane] = k.lists[lane][:0]
-				}
-				dw := k.lt.DefW
-				for di, v := range k.lt.DefV {
-					for lw := dw[di] & gather; lw != 0; {
-						lane := bits.TrailingZeros64(lw)
-						lw &^= 1 << uint(lane)
-						k.lists[lane] = append(k.lists[lane], v)
-					}
-				}
+				// triage / full-decode path per gathered lane. The scan is
+				// core.LaneTriage.GatherLanes, shared with the streaming
+				// lane batcher.
+				k.lt.GatherLanes(gather, &k.lists)
 				for gw := gather; gw != 0; {
 					lane := bits.TrailingZeros64(gw)
 					gw &^= 1 << uint(lane)

@@ -40,6 +40,16 @@ type Engine struct {
 	done    sync.WaitGroup
 	next    atomic.Int64
 	closed  bool
+
+	// Lane batching (cfg.LaneBatch, non-robust engines only): workers claim
+	// fixed chunks of up to 64 consecutive streams instead of single
+	// streams, deliver each round chunk-wide, and resolve the deferred
+	// windows through their per-worker LaneBatcher. Corrections stay
+	// bit-identical to per-stream decoding — chunk boundaries and worker
+	// count affect grouping, never results.
+	lane     bool
+	chunk    int
+	batchers []*LaneBatcher
 }
 
 // EngineConfig configures a multi-stream engine.
@@ -70,6 +80,13 @@ type EngineConfig struct {
 	// stream index as tid — so a fixed-seed fleet exports the identical
 	// trace for any worker count.
 	Trace *obs.Trace
+	// LaneBatch batches ready-to-decode windows from up to 64 streams into
+	// bit-plane lane groups (LaneBatcher) instead of decoding each stream's
+	// window as it fills. Corrections are bit-identical to the per-stream
+	// path for every worker count and fleet size; only throughput changes.
+	// Ignored (off) when Robust is enabled — deadline accounting assumes
+	// decode-at-fill, and degraded windows must never enter a lane group.
+	LaneBatch bool
 }
 
 // engineJob is one round batch (or a flush) broadcast to every worker.
@@ -136,12 +153,32 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 			e.chans[i] = faults.NewChannel(per, c)
 		}
 	}
+	if cfg.LaneBatch && !e.robust {
+		e.lane = true
+		for _, dec := range e.decs {
+			// Cannot fail: the engine is non-robust by the guard above.
+			if err := dec.SetDeferDecode(true); err != nil {
+				return nil, err
+			}
+		}
+		// Chunks of up to 64 streams: one lane group per chunk per decode
+		// round. ceil(S/workers) keeps every worker busy on small fleets;
+		// the 64-lane cap bounds a group to one plane word.
+		e.chunk = (cfg.Streams + workers - 1) / workers
+		if e.chunk > 64 {
+			e.chunk = 64
+		}
+		e.batchers = make([]*LaneBatcher, workers)
+		for w := range e.batchers {
+			e.batchers[w] = NewLaneBatcher()
+		}
+	}
 	e.jobs = make([]chan engineJob, workers)
 	e.done.Add(workers)
 	for w := 0; w < workers; w++ {
 		ch := make(chan engineJob, 1)
 		e.jobs[w] = ch
-		go e.worker(ch)
+		go e.worker(w, ch)
 	}
 	return e, nil
 }
@@ -164,15 +201,23 @@ func (e *Engine) deliverRound(i int, events []int32) error {
 	return dec.PushLayer(events)
 }
 
-func (e *Engine) worker(ch chan engineJob) {
+func (e *Engine) worker(w int, ch chan engineJob) {
 	defer e.done.Done()
 	for job := range ch {
+		if e.lane && !job.flush {
+			e.laneRounds(e.batchers[w], job)
+			e.wg.Done()
+			continue
+		}
 		for {
 			i := int(e.next.Add(1) - 1)
 			if i >= len(e.decs) {
 				break
 			}
 			if job.flush {
+				// Flush resolves any deferred window through the scalar
+				// path before closing the stream, so the per-stream claim
+				// loop serves lane engines too.
 				e.decs[i].Flush()
 				continue
 			}
@@ -187,6 +232,37 @@ func (e *Engine) worker(ch chan engineJob) {
 			}
 		}
 		e.wg.Done()
+	}
+}
+
+// laneRounds is the lane-batched round job: workers claim whole chunks of
+// consecutive streams, deliver each round to the chunk, and resolve the
+// windows that filled as one lane group per chunk. Round-major order keeps
+// the feed contract (per-stream round order, one owner per stream per
+// batch) while letting every stream in the chunk reach pending before any
+// of them decodes.
+func (e *Engine) laneRounds(b *LaneBatcher, job engineJob) {
+	for {
+		lo := int(e.next.Add(int64(e.chunk))) - e.chunk
+		if lo >= len(e.decs) {
+			return
+		}
+		hi := lo + e.chunk
+		if hi > len(e.decs) {
+			hi = len(e.decs)
+		}
+		chunk := e.decs[lo:hi]
+		for r := 0; r < job.rounds; r++ {
+			for i := lo; i < hi; i++ {
+				if e.errs[i] != nil {
+					continue
+				}
+				if err := e.deliverRound(i, job.feed(i, r)); err != nil {
+					e.errs[i] = fmt.Errorf("stream %d: %w", i, err)
+				}
+			}
+			b.Decode(chunk)
+		}
 	}
 }
 
@@ -286,7 +362,7 @@ func (e *Engine) PushRound(events [][]int32) error {
 	} else {
 		willDecode = e.decs[0].Buffered()+1 >= e.decs[0].Window
 	}
-	if !willDecode || e.workers == 1 {
+	if !willDecode || (e.workers == 1 && !e.lane) {
 		for i := range e.decs {
 			if e.errs[i] != nil {
 				continue
@@ -338,7 +414,7 @@ func (e *Engine) PushRounds(rounds [][][]int32) error {
 	} else {
 		willDecode = e.decs[0].Buffered()+k >= e.decs[0].Window
 	}
-	if !willDecode || e.workers == 1 {
+	if !willDecode || (e.workers == 1 && !e.lane) {
 		for i := range e.decs {
 			if e.errs[i] != nil {
 				continue

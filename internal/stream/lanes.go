@@ -1,0 +1,223 @@
+package stream
+
+import (
+	"math/bits"
+
+	"afs/internal/core"
+	"afs/internal/lattice"
+)
+
+// LaneBatcher resolves deferred (SetDeferDecode) stream windows in
+// cross-stream lane groups: up to 64 pending windows sharing a
+// (distance, window) shape are transposed into bit-plane defect planes —
+// one uint64 per window-graph vertex, bit t = lane t's window has a defect
+// there — and classified word-parallel by core.LaneTriage.ClassifySparse.
+// Lanes whose window certifies against the sparse shortcut's fast set
+// commit their closed-form correction with no per-stream decode at all;
+// the rest run the unchanged scalar path on the defect list the scatter
+// pass already extracted (so the heavy tail re-reads nothing). Either route finishes through the same commit/slide code a
+// scalar decodeWindow uses, so corrections are bit-identical to per-stream
+// decoding for every group size and fill.
+//
+// Group-formation rules (deterministic — a pure function of the decs slice
+// order and the decoders' pending flags, never of worker timing):
+//
+//   - only pending decoders join a group; the commit depth is NOT part of
+//     the shape key, because classification is horizon-independent and
+//     each lane commits against its own decoder's Commit;
+//   - windows containing an erased round, decoders with the weight-0 skip
+//     disabled, windows past core.MaxShortcutDefects, and windows at or
+//     past a tile-punt threshold route straight to the scalar path without
+//     touching the planes (counted laneIneligible) — erasure flags and
+//     punt routing are per-stream state the planes cannot carry;
+//   - robust (deadline/backpressure) decoders never defer in the first
+//     place (SetDeferDecode rejects them), so degraded windows cannot
+//     reach a lane group.
+//
+// Not safe for concurrent use; engines hold one batcher per worker.
+type LaneBatcher struct {
+	shapes map[laneKey]*laneShape
+	om     *streamObs
+	omSh   int
+}
+
+type laneKey struct {
+	distance, window int
+}
+
+// laneShape is the per-(distance, window) working set: the shared window
+// graph and classifier plus the transpose planes and per-lane scratch. All
+// of it reaches a high-water capacity and is reused, so steady-state
+// batches allocate nothing.
+type laneShape struct {
+	g       *lattice.Graph
+	lt      *core.LaneTriage
+	planes  []uint64 // g.V + 1: defect planes plus the always-zero sentinel
+	touched []uint64
+	emits   [64][]int32 // per-lane fast-path edge emits (ClassifySparse)
+	lists   [64][]int32 // per-lane defect lists (collectScatter)
+	counts  [64]int
+	lanes   [64]*Decoder
+}
+
+// NewLaneBatcher returns an empty batcher; per-shape working sets build
+// lazily on the first pending window of each shape.
+func NewLaneBatcher() *LaneBatcher {
+	return &LaneBatcher{
+		shapes: map[laneKey]*laneShape{},
+		om:     obsSink.Load(),
+		omSh:   nextObsShard(),
+	}
+}
+
+func (b *LaneBatcher) shapeFor(d *Decoder) *laneShape {
+	k := laneKey{distance: d.Distance, window: d.Window}
+	if sh, ok := b.shapes[k]; ok {
+		return sh
+	}
+	sh := &laneShape{
+		g:       d.g,
+		lt:      core.NewLaneTriage(d.g),
+		planes:  make([]uint64, d.g.V+1),
+		touched: make([]uint64, (d.g.V+63)/64),
+	}
+	b.shapes[k] = sh
+	return sh
+}
+
+// Decode resolves every pending decoder in decs, grouping same-shape
+// pending windows into lane groups of up to 64 in slice order (skipping
+// over non-pending and different-shape entries; those shapes form their
+// own groups on later sweeps of the same pass). nil entries are ignored.
+func (b *LaneBatcher) Decode(decs []*Decoder) {
+	for i := 0; i < len(decs); i++ {
+		d := decs[i]
+		if d == nil || !d.pending {
+			continue
+		}
+		sh := b.shapeFor(d)
+		n := 0
+		sh.lanes[n] = d
+		n++
+		for j := i + 1; j < len(decs) && n < 64; j++ {
+			dj := decs[j]
+			if dj == nil || !dj.pending || dj.Distance != d.Distance || dj.Window != d.Window {
+				continue
+			}
+			sh.lanes[n] = dj
+			n++
+		}
+		b.decodeGroup(sh, n)
+	}
+}
+
+// decodeGroup resolves one formed group: scatter the eligible windows into
+// the planes, classify, fast-commit the certified lanes, gather and
+// scalar-decode the rest.
+func (b *LaneBatcher) decodeGroup(sh *laneShape, n int) {
+	var elig uint64
+	scalar := 0
+	for lane := 0; lane < n; lane++ {
+		d := sh.lanes[lane]
+		d.pending = false
+		nd, anyErased := d.windowSummary()
+		sh.counts[lane] = nd
+		switch {
+		case anyErased || d.disableW0Skip,
+			nd > core.MaxShortcutDefects,
+			d.tdec != nil && nd >= d.tileMin:
+			// Per-stream state the planes cannot carry (erasure flags,
+			// punt routing, the W0-skip test hook): the unchanged scalar
+			// window decode, outside the group.
+			d.decodeWindow(false)
+			sh.lanes[lane] = nil
+			scalar++
+		case nd == 0:
+			// The weight-0 skip, lane-side: nothing to scatter, nothing to
+			// decode — commit the empty correction and slide.
+			d.commitFast(nil, 0)
+			sh.lanes[lane] = nil
+		default:
+			d.collectScatter(sh.planes, sh.touched, uint(lane), &sh.lists[lane])
+			elig |= 1 << uint(lane)
+		}
+	}
+	var fast uint64
+	if elig != 0 {
+		fast = sh.lt.ClassifySparse(sh.planes, sh.touched, elig, &sh.emits)
+		for ew := elig; ew != 0; {
+			lane := bits.TrailingZeros64(ew)
+			ew &^= 1 << uint(lane)
+			d := sh.lanes[lane]
+			if fast>>uint(lane)&1 != 0 {
+				d.commitFast(sh.emits[lane], sh.counts[lane])
+			} else {
+				d.decodeGathered(sh.lists[lane])
+			}
+			sh.lanes[lane] = nil
+		}
+		sh.lt.ClearPlanes(sh.planes, sh.touched)
+	}
+	if b.om != nil {
+		b.om.laneGroups.Inc(b.omSh)
+		b.om.laneWindows.Add(b.omSh, uint64(n))
+		if scalar != 0 {
+			b.om.laneIneligible.Add(b.omSh, uint64(scalar))
+		}
+		if fast != 0 {
+			b.om.laneFast.Add(b.omSh, uint64(bits.OnesCount64(fast)))
+		}
+		if g := elig &^ fast; g != 0 {
+			b.om.laneGathered.Add(b.omSh, uint64(bits.OnesCount64(g)))
+		}
+	}
+}
+
+// windowSummary scans the (full — pending implies ringLen == Window) ring
+// for the window's defect count and whether any round was erased. Slot
+// order is irrelevant for either, so the scan skips the ring rotation.
+func (d *Decoder) windowSummary() (ndefects int, anyErased bool) {
+	n := int32(0)
+	for si := 0; si < d.Window; si++ {
+		n += d.occ[si]
+		anyErased = anyErased || d.erased[si]
+	}
+	return int(n), anyErased
+}
+
+// collectScatter extracts the window's defects in ascending window-local
+// vertex order (layer t's ancilla x at vertex t*per + x), OR-ing each into
+// a lane group's planes at bit `lane` and appending it to *list. One
+// rotated pass serves both routes out of classification: the planes feed
+// the word-parallel certifier, and if the lane is gathered the scalar
+// fallback decodes the list without re-reading the ring. The scatter is
+// OR-only, which is what licenses core.LaneTriage.ClearPlanes's
+// O(defects) cleanup.
+func (d *Decoder) collectScatter(planes, touched []uint64, lane uint, list *[]int32) {
+	bit := uint64(1) << lane
+	out := (*list)[:0]
+	for t := 0; t < d.Window; t++ {
+		si := d.ringStart + t
+		if si >= d.Window {
+			si -= d.Window
+		}
+		if d.occ[si] == 0 {
+			continue
+		}
+		wi := si * d.perWords
+		off := t * d.per
+		for k := 0; k < d.perWords; k++ {
+			w := d.ring[wi+k]
+			base := off + k<<6
+			for w != 0 {
+				x := bits.TrailingZeros64(w)
+				w &^= 1 << uint(x)
+				v := base + x
+				planes[v] |= bit
+				touched[v>>6] |= 1 << (uint(v) & 63)
+				out = append(out, int32(v))
+			}
+		}
+	}
+	*list = out
+}

@@ -28,6 +28,16 @@ type streamObs struct {
 	windowDefects *obs.Histogram // defects per decoded window
 	windowCostNS  *obs.Histogram // model decode cost per window (robust mode)
 	queueLag      *obs.Histogram // backlog in arrival periods after each window (robust mode)
+
+	// Lane-batching signals (LaneBatcher): group formation and the
+	// fast/gathered/ineligible split. laneWindows / (64 * laneGroups) is
+	// the mean group fill fraction; laneFast / laneWindows the fraction of
+	// batched windows resolved closed-form without a scalar decode.
+	laneGroups     *obs.Counter // lane groups formed
+	laneWindows    *obs.Counter // windows entering a lane group (any route)
+	laneFast       *obs.Counter // lanes resolved by the closed-form fast path
+	laneGathered   *obs.Counter // lanes scattered then routed to the scalar decode
+	laneIneligible *obs.Counter // windows routed scalar without scattering (erased/heavy/W0-off)
 }
 
 func newStreamObs(reg *obs.Registry) *streamObs {
@@ -44,6 +54,11 @@ func newStreamObs(reg *obs.Registry) *streamObs {
 		corrections:     reg.NewCounter("afs_stream_corrections_total", "corrections committed across all streams", s),
 		backlogSheds:    reg.NewCounter("afs_stream_backlog_sheds_total", "backlog shedding episodes entered", s),
 		backlogRecovers: reg.NewCounter("afs_stream_backlog_recovers_total", "backlog shedding episodes closed (drained or stream reset)", s),
+		laneGroups:      reg.NewCounter("afs_stream_lane_groups_total", "cross-stream lane groups formed by the lane batcher", s),
+		laneWindows:     reg.NewCounter("afs_stream_lane_windows_total", "stream windows entering a lane group (fill = windows / (64*groups))", s),
+		laneFast:        reg.NewCounter("afs_stream_lane_fast_total", "lane-batched windows resolved by the closed-form fast path", s),
+		laneGathered:    reg.NewCounter("afs_stream_lane_gathered_total", "lane-batched windows gathered back to the scalar decode", s),
+		laneIneligible:  reg.NewCounter("afs_stream_lane_ineligible_total", "lane-group windows routed scalar without scattering (erased, heavy, tile punt, W0 skip off)", s),
 		windowDefects:   reg.NewHistogram("afs_stream_window_defects", "detection events per decoded window", 0, 64, 32, s),
 		windowCostNS:    reg.NewHistogram("afs_stream_window_cost_ns", "model decode cost per window in ns (deadline mode)", 0, 800, 40, s),
 		queueLag:        reg.NewHistogram("afs_stream_queue_lag_rounds", "decode backlog in arrival periods after each window (deadline mode)", 0, 32, 32, s),

@@ -131,6 +131,17 @@ type Decoder struct {
 	// path; it exists only so tests can prove the skip is bit-identical.
 	disableW0Skip bool
 
+	// Deferred decoding (SetDeferDecode): when on, a window that fills on
+	// ingest is not decoded immediately — the decoder marks itself pending
+	// and waits for a LaneBatcher (or any state-reading entry point:
+	// Flush, Snapshot, the next ingest) to resolve it. This is what lets
+	// the cross-stream lane scheduler see many ready windows at once
+	// instead of each decoder consuming its own the moment it fills.
+	// Mutually exclusive with robust mode, whose deadline clocks assume
+	// decode-at-fill.
+	deferDecode bool
+	pending     bool
+
 	// Observability (internal/obs). om is the fleet-wide metrics sink
 	// captured at construction (nil when disabled), omShard the padded-slot
 	// hint. The steady-state signals — rounds, windows, corrections,
@@ -308,6 +319,9 @@ func (d *Decoder) SetRobust(cfg Robust) error {
 	if cfg.DeadlineNS < 0 || cfg.QueueCap < 0 {
 		return fmt.Errorf("stream: negative deadline or queue cap")
 	}
+	if d.deferDecode && cfg.enabled() {
+		return fmt.Errorf("stream: robust mode and deferred decoding are mutually exclusive")
+	}
 	wasOn := d.robustOn
 	d.robust = cfg
 	d.robustOn = cfg.enabled()
@@ -448,9 +462,46 @@ func (d *Decoder) PushErased() {
 	d.ingest(nil, true)
 }
 
+// SetDeferDecode enables (or disables) deferred window decoding: a window
+// that fills on ingest is left buffered and marked pending instead of
+// decoding immediately, so a LaneBatcher can resolve many streams' windows
+// as one lane group. Pending windows resolve transparently — through the
+// scalar path, bit-identically — whenever the decoder's state is needed
+// before a batcher gets to it (the next ingest, Flush, Snapshot).
+// Incompatible with robust mode: the deadline model's queue clocks assume
+// a window is served the round it completes.
+func (d *Decoder) SetDeferDecode(on bool) error {
+	if on && d.robustOn {
+		return fmt.Errorf("stream: robust mode and deferred decoding are mutually exclusive")
+	}
+	if !on {
+		d.resolvePending()
+	}
+	d.deferDecode = on
+	return nil
+}
+
+// Pending reports whether a filled window is buffered awaiting a deferred
+// decode (always false without SetDeferDecode).
+func (d *Decoder) Pending() bool { return d.pending }
+
+// resolvePending decodes a deferred window through the ordinary scalar
+// path. Safe to call any time; a no-op unless a window is pending.
+func (d *Decoder) resolvePending() {
+	if d.pending {
+		d.pending = false
+		d.decodeWindow(false)
+	}
+}
+
 // ingest buffers one layer (validated events, or an erased blank) and
 // decodes when the window fills.
 func (d *Decoder) ingest(events []int32, erased bool) {
+	// A deferred window must resolve before the next layer lands — the ring
+	// holds exactly Window slots, all of them occupied while pending.
+	if d.pending {
+		d.resolvePending()
+	}
 	if d.robustOn {
 		sheds, recovers := d.queue.Sheds, d.queue.Recoveries
 		if d.queue.Arrive() {
@@ -500,7 +551,11 @@ func (d *Decoder) ingest(events []int32, erased bool) {
 	d.erased[si] = erased
 	d.ringLen++
 	if d.ringLen >= d.Window {
-		d.decodeWindow(false)
+		if d.deferDecode {
+			d.pending = true
+		} else {
+			d.decodeWindow(false)
+		}
 	}
 }
 
@@ -541,6 +596,10 @@ func (d *Decoder) shedOldest() {
 // retained committed corrections (nil when a sink is installed — the sink
 // already received them). The decoder is left ready for a new stream.
 func (d *Decoder) Flush() []Correction {
+	// A pending window is a *sliding* decode the stream still owes; resolve
+	// it before the final closed-window loop, which would otherwise decode
+	// it with final semantics.
+	d.resolvePending()
 	for d.ringLen > 0 {
 		d.decodeWindow(true)
 	}
@@ -592,7 +651,13 @@ func (d *Decoder) decodeWindow(final bool) {
 		layers = d.Window
 		commit = d.Commit
 	}
+	d.collectDefects(layers)
+	d.decodeCollected(final, layers, commit)
+}
 
+// collectDefects rebuilds d.defects from the first `layers` buffered
+// layers, in window-local vertex ids.
+func (d *Decoder) collectDefects(layers int) {
 	// Build the defect list in window-local vertex ids. Scanning layers in
 	// order and words in order yields it sorted with no extra pass; the
 	// per-layer vertex offset is the only translation needed. Ring slots are
@@ -622,7 +687,12 @@ func (d *Decoder) decodeWindow(final bool) {
 			}
 		}
 	}
+}
 
+// decodeCollected decodes d.defects (already collected) and finishes the
+// window: the decode dispatch and the robust deadline accounting live
+// here; commit/slide/observability live in finishWindow.
+func (d *Decoder) decodeCollected(final bool, layers, commit int) {
 	// Weight-0 fast path: a window with no detection events has the empty
 	// correction, and skipping DecodeHorizon outright is safe because the
 	// decoder's reset is deferred, not lost — an empty decode would only
@@ -723,6 +793,39 @@ func (d *Decoder) decodeWindow(final bool) {
 			}
 		}
 	}
+	d.finishWindow(g, corr, commit, final, w0, len(d.defects), cost)
+}
+
+// commitFast finishes a deferred sliding window whose correction was
+// computed by the lane batcher's closed-form fast path: corr holds the
+// fast groups' emit edges (window-graph edge ids) and ndefects the
+// window's defect count. Only valid on a non-robust decoder — exactly what
+// SetDeferDecode guarantees — so the deadline block decodeCollected would
+// run is vacuous and the window finishes with zero model cost, identical
+// to the scalar path's non-robust decode.
+func (d *Decoder) commitFast(corr []int32, ndefects int) {
+	w0 := ndefects == 0 && !d.disableW0Skip
+	d.finishWindow(d.g, corr, d.Commit, false, w0, ndefects, 0)
+}
+
+// decodeGathered finishes a deferred sliding window through the ordinary
+// scalar decode, taking the defect list from the lane batcher's gather
+// (ascending vertex order — the same list collectDefects would build).
+func (d *Decoder) decodeGathered(defects []int32) {
+	d.defects = append(d.defects[:0], defects...)
+	d.decodeCollected(false, d.Window, d.Commit)
+}
+
+// finishWindow commits a decoded window and slides the ring: the commit
+// loop with its seam carry, the steady-state observability tallies, and
+// the slot recycling. g/corr are the decode's graph and correction (g may
+// be nil when corr is empty), ndefects the window's defect count (passed
+// explicitly — the lane fast path never materializes d.defects), cost the
+// robust model charge (0 otherwise).
+func (d *Decoder) finishWindow(g *lattice.Graph, corr []int32, commit int, final, w0 bool, ndefects int, cost float64) {
+	// winTS is the window's model-time anchor (its first buffered layer's
+	// arrival slot) for the trace; cost stays 0 outside deadline mode.
+	winTS := float64(d.base) * d.robust.arrivalNS()
 
 	// Commit region: record final corrections; a temporal edge crossing the
 	// seam toggles the layer that becomes the next window's first layer —
@@ -781,9 +884,9 @@ func (d *Decoder) decodeWindow(final bool) {
 		if w0 {
 			d.omW0Windows++
 		}
-		d.lhDefects.Observe(float64(len(d.defects)))
+		d.lhDefects.Observe(float64(ndefects))
 		d.omCorrections += uint64(committed)
-		if committed == 0 && len(d.defects) > 0 {
+		if committed == 0 && ndefects > 0 {
 			d.omHorizonSkips++
 		}
 		d.omPending++
@@ -792,7 +895,7 @@ func (d *Decoder) decodeWindow(final bool) {
 		}
 	}
 	if d.trace != nil {
-		d.trace.Emit(obs.Event{TS: winTS, Dur: cost, Arg: float64(len(d.defects)), TID: d.tid, Kind: obs.EvWindow})
+		d.trace.Emit(obs.Event{TS: winTS, Dur: cost, Arg: float64(ndefects), TID: d.tid, Kind: obs.EvWindow})
 	}
 
 	// Slide: clear the consumed slots for reuse and advance the ring.

@@ -190,6 +190,7 @@ func clampWorkers(requested, units int) int {
 type StreamEngine struct {
 	eng      *stream.Engine
 	samplers []*noise.RoundSampler
+	feed     func(stream, round int) []int32
 	rounds   uint64
 }
 
@@ -227,6 +228,11 @@ type StreamEngineConfig struct {
 	// QueueCap bounds each stream's decode backlog in rounds (0 disables):
 	// past it the oldest undecoded round is shed and recorded.
 	QueueCap int
+	// LaneBatch batches ready windows from up to 64 streams into bit-plane
+	// lane groups decoded word-parallel. Committed corrections stay
+	// bit-identical to per-stream decoding; ignored when DeadlineNS or
+	// QueueCap enable robust mode.
+	LaneBatch bool
 	// Trace, when non-nil, records every stream's model-time decode events
 	// (stream index as tid); export with Trace.WriteChrome. Deterministic:
 	// a fixed-seed fleet emits the identical trace for any worker count.
@@ -251,7 +257,8 @@ func NewStreamEngine(cfg StreamEngineConfig) (*StreamEngine, error) {
 			DeadlineNS: cfg.DeadlineNS,
 			QueueCap:   cfg.QueueCap,
 		},
-		Trace: cfg.Trace,
+		LaneBatch: cfg.LaneBatch,
+		Trace:     cfg.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -260,6 +267,11 @@ func NewStreamEngine(cfg StreamEngineConfig) (*StreamEngine, error) {
 	for i := 0; i < cfg.Streams; i++ {
 		e.samplers = append(e.samplers,
 			noise.NewRoundSampler(cfg.Distance, cfg.P, cfg.Seed+uint64(i)*0x9e37, uint64(i)+1))
+	}
+	// One feed closure for the engine's lifetime, so steady-state RunRounds
+	// stays off the heap.
+	e.feed = func(stream, _ int) []int32 {
+		return e.samplers[stream].SampleRound()
 	}
 	return e, nil
 }
@@ -272,9 +284,7 @@ func (e *StreamEngine) RunRounds(n int) error {
 	if n <= 0 {
 		return nil
 	}
-	err := e.eng.RunRounds(n, func(stream, _ int) []int32 {
-		return e.samplers[stream].SampleRound()
-	})
+	err := e.eng.RunRounds(n, e.feed)
 	e.rounds += uint64(n)
 	return err
 }

@@ -64,6 +64,34 @@ func TestStreamSteadyStatePushZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestLaneEngineSteadyStateZeroAllocs audits the cross-stream lane-gather
+// path: a lane-batched StreamEngine at the design point, once its bit
+// planes, gather lists, and emit buffers reach steady-state capacity, must
+// run rounds — transpose, word-parallel classification, heavy-lane scatter,
+// commits — without touching the heap.
+func TestLaneEngineSteadyStateZeroAllocs(t *testing.T) {
+	eng, err := afs.NewStreamEngine(afs.StreamEngineConfig{
+		Streams: 128, Distance: 11, P: 1e-3, Seed: 13,
+		Workers: 2, LaneBatch: true,
+		OnCorrection: func(int, afs.StreamCorrection) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if err := eng.RunRounds(2000); err != nil { // warm to steady state
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		if err := eng.RunRounds(1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state lane-batched RunRounds allocates %.2f objects/op, want 0", avg)
+	}
+}
+
 // TestSteadyStateZeroAllocsNearThreshold repeats the audit at a high error
 // rate, where syndromes are dense and every scratch structure is stressed.
 func TestSteadyStateZeroAllocsNearThreshold(t *testing.T) {
